@@ -1,0 +1,97 @@
+"""Ablation — sparse hash map group size.
+
+§4.1: "We set M to 32 buckets per group, which reduces the overhead of
+bitmap to just 3.5 bits per key."  This sweep varies M and measures the
+modeled memory overhead per entry and the probe behaviour, plus real
+wall-clock microbenchmarks of insert/lookup (a legitimate use of
+pytest-benchmark's statistics, unlike the simulated experiments).
+"""
+
+import random
+
+import pytest
+
+from repro.ftl.mapping import ENTRY_BYTES
+from repro.ssc.sparse_map import SparseHashMap
+from repro.stats.report import format_table
+
+from benchmarks.common import once
+
+GROUP_SIZES = (8, 16, 32, 64)
+KEYS = 20_000
+
+
+def run_sweep():
+    rng = random.Random(1)
+    keys = rng.sample(range(10**12), KEYS)
+    rows = []
+    for group_size in GROUP_SIZES:
+        table = SparseHashMap(group_size=group_size)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        table.total_probes = table.total_lookups = 0
+        for key in keys:
+            table.lookup(key)
+        overhead = table.memory_bytes() - len(table) * ENTRY_BYTES
+        rows.append(
+            {
+                "group_size": group_size,
+                "overhead_per_entry": overhead / len(table),
+                "mean_probes": table.mean_probes(),
+            }
+        )
+    return rows
+
+
+def test_ablation_sparse_map_group_size(benchmark):
+    rows = once(benchmark, run_sweep)
+    print()
+    print(
+        format_table(
+            ["M (buckets/group)", "overhead B/entry", "mean probes"],
+            [
+                [r["group_size"], f"{r['overhead_per_entry']:.2f}",
+                 f"{r['mean_probes']:.2f}"]
+                for r in rows
+            ],
+            title="Ablation: sparse hash map group size",
+        )
+    )
+    # Larger groups amortize the group pointer: overhead must shrink.
+    overheads = [r["overhead_per_entry"] for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    # Paper: "typically no more than 4-5 probes per lookup".
+    assert all(r["mean_probes"] < 5 for r in rows)
+
+
+@pytest.fixture(scope="module")
+def loaded_map():
+    table = SparseHashMap()
+    rng = random.Random(2)
+    keys = rng.sample(range(10**12), 50_000)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    return table, keys
+
+
+def test_micro_sparse_map_lookup(benchmark, loaded_map):
+    table, keys = loaded_map
+    probe_keys = keys[:1000]
+
+    def lookups():
+        for key in probe_keys:
+            table.lookup(key)
+
+    benchmark(lookups)
+
+
+def test_micro_sparse_map_insert(benchmark):
+    rng = random.Random(3)
+    keys = iter(rng.sample(range(10**15), 2_000_000))
+
+    def inserts():
+        table = SparseHashMap()
+        for _ in range(1000):
+            table.insert(next(keys), 1)
+
+    benchmark(inserts)

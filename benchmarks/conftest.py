@@ -1,0 +1,27 @@
+"""Benchmark-session configuration."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `from common import ...` style imports within benchmark modules
+# regardless of how pytest resolves rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def show_result_tables(capfd):
+    """Re-emit each benchmark's printed tables to the real stdout.
+
+    The tables these benchmarks print *are* the experiment results;
+    pytest's default capture would swallow them unless the user
+    remembers ``-s``.  This drains the captured stream after each test
+    and writes it through uncaptured.
+    """
+    yield
+    out, _err = capfd.readouterr()
+    if out.strip():
+        with capfd.disabled():
+            sys.stdout.write(out)
+            sys.stdout.flush()

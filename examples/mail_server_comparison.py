@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mail-server shootout: native SSD cache vs SSC vs SSC-R.
+
+Replays the paper's *mail* workload profile (88.5 % writes, heavy
+overwrite skew — a departmental email server) through all three
+systems in write-back mode and prints the Figure 3 / Table 5 view:
+relative IOPS, write amplification, erases, and miss rate.
+
+Run:  python examples/mail_server_comparison.py
+"""
+
+from repro import CacheMode, SystemConfig, SystemKind, build_system
+from repro.stats.report import format_table
+from repro.traces import MAIL, generate_trace
+
+
+def run_one(kind: SystemKind, trace, profile):
+    config = SystemConfig(
+        kind=kind,
+        mode=CacheMode.WRITE_BACK,
+        cache_blocks=profile.cache_blocks(),
+        disk_blocks=profile.address_range_blocks,
+    )
+    system = build_system(config)
+    stats = system.replay(trace.records, warmup_fraction=0.15)
+    return system, stats
+
+
+def main() -> None:
+    profile = MAIL.scaled(0.10)
+    trace = generate_trace(profile, seed=7)
+    print(f"mail workload: {len(trace)} requests, "
+          f"{trace.write_fraction():.0%} writes\n")
+
+    results = {}
+    for kind in (SystemKind.NATIVE, SystemKind.SSC, SystemKind.SSC_R):
+        results[kind] = run_one(kind, trace, profile)
+
+    base_iops = results[SystemKind.NATIVE][1].iops()
+    rows = []
+    for kind, (system, stats) in results.items():
+        rows.append([
+            kind.value,
+            f"{stats.iops():,.0f}",
+            f"{100 * stats.iops() / base_iops:.0f}%",
+            f"{system.device_stats.write_amplification():.2f}",
+            f"{system.device.chip.total_erases():,}",
+            f"{stats.miss_rate():.1f}%",
+        ])
+    print(format_table(
+        ["system", "IOPS", "vs native", "write amp", "erases", "miss rate"],
+        rows,
+        title="Write-back caching on the mail workload",
+    ))
+    print("\nThe SSC wins because garbage collection silently evicts "
+          "clean blocks\ninstead of copying them, and SSC-R wins more by "
+          "deferring merges with a\nlarger log-block pool (paper §4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""FlashTier: a lightweight, consistent and durable storage cache.
+
+A complete, from-scratch reproduction of the EuroSys 2012 paper by
+Saxena, Swift and Zhang.  The package provides:
+
+* :mod:`repro.flash` — a NAND flash chip model (planes, erase blocks,
+  pages, OOB areas, Table 2 timing);
+* :mod:`repro.ftl` — a FAST-style hybrid FTL and the conventional
+  ``SSD`` baseline device;
+* :mod:`repro.ssc` — the paper's contribution: the ``SolidStateCache``
+  device with a sparse unified address space, the six-operation
+  consistent cache interface, silent eviction (SE-Util / SE-Merge),
+  and log/checkpoint crash recovery;
+* :mod:`repro.manager` — the FlashTier write-through and write-back
+  cache managers plus the native FlashCache-style baseline;
+* :mod:`repro.disk`, :mod:`repro.traces`, :mod:`repro.sim`,
+  :mod:`repro.stats` — the disk tier, synthetic Table 3 workloads,
+  simulation kernel, and measurement plumbing;
+* :mod:`repro.core` — one-call assembly of complete systems.
+
+Quickstart::
+
+    from repro import build_system, SystemConfig, SystemKind, CacheMode
+    from repro.traces import HOMES, generate_trace
+
+    system = build_system(SystemConfig(kind=SystemKind.SSC_R,
+                                       mode=CacheMode.WRITE_BACK,
+                                       cache_blocks=4096,
+                                       disk_blocks=500_000))
+    stats = system.replay(generate_trace(HOMES.scaled(0.1)).records,
+                          warmup_fraction=0.15)
+    print(f"{stats.iops():.0f} IOPS, {stats.miss_rate():.1f}% miss rate")
+"""
+
+from repro.core import (
+    CacheMode,
+    FlashTierSystem,
+    SystemConfig,
+    SystemKind,
+    build_system,
+)
+from repro.errors import (
+    CacheFullError,
+    ConfigError,
+    NotPresentError,
+    RecoveryError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_system",
+    "FlashTierSystem",
+    "SystemConfig",
+    "SystemKind",
+    "CacheMode",
+    "ReproError",
+    "ConfigError",
+    "NotPresentError",
+    "CacheFullError",
+    "RecoveryError",
+    "__version__",
+]

@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+Everything the examples and benchmarks do, driveable from a shell::
+
+    python -m repro workloads
+    python -m repro generate --workload homes --scale 0.1 -o homes.trace
+    python -m repro analyze homes.trace
+    python -m repro replay --workload mail --system ssc-r --mode wb
+    python -m repro compare --workload homes --scale 0.1
+    python -m repro recover --workload homes --scale 0.1
+
+External traces work too: ``analyze`` and ``replay`` accept a trace
+file (``--trace``), in the native line format or MSR Cambridge CSV
+(``--msr``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import CacheMode, SystemConfig, SystemKind, build_system
+from repro.stats.report import format_table
+from repro.traces.analyze import analyze
+from repro.traces.filefmt import read_trace, write_trace
+from repro.traces.fiu import read_fiu_trace
+from repro.traces.msr import read_msr_trace
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic import PROFILES, generate_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=sorted(PROFILES), default="homes",
+        help="synthetic workload profile (Table 3)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="profile scale factor (1.0 = full synthetic size)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="trace RNG seed")
+
+
+def _add_trace_source_args(parser: argparse.ArgumentParser) -> None:
+    _add_workload_args(parser)
+    parser.add_argument(
+        "--trace", help="replay a trace file instead of a synthetic workload"
+    )
+    parser.add_argument(
+        "--msr", action="store_true",
+        help="the --trace file is MSR Cambridge CSV",
+    )
+    parser.add_argument(
+        "--fiu", action="store_true",
+        help="the --trace file is FIU (SyLab) format",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of requests taken from --trace",
+    )
+
+
+def _load_records(args) -> List[TraceRecord]:
+    if args.trace:
+        if args.msr:
+            return read_msr_trace(args.trace, limit=args.limit)
+        if getattr(args, "fiu", False):
+            return read_fiu_trace(args.trace, limit=args.limit)
+        records = read_trace(args.trace)
+        return records[: args.limit] if args.limit else records
+    profile = PROFILES[args.workload].scaled(args.scale)
+    return generate_trace(profile, seed=args.seed).records
+
+
+def _system_config(args, kind: SystemKind, records) -> SystemConfig:
+    if args.trace:
+        stats = analyze(records)
+        cache_blocks = max(256, stats.unique_blocks // 4)
+        disk_blocks = stats.max_lbn + 1
+    else:
+        profile = PROFILES[args.workload].scaled(args.scale)
+        cache_blocks = profile.cache_blocks()
+        disk_blocks = profile.address_range_blocks
+    return SystemConfig(
+        kind=kind,
+        mode=CacheMode(args.mode),
+        cache_blocks=cache_blocks,
+        disk_blocks=disk_blocks,
+        consistency=not args.no_consistency,
+    )
+
+
+def cmd_workloads(_args) -> int:
+    rows = []
+    for name in sorted(PROFILES):
+        profile = PROFILES[name]
+        rows.append([
+            name,
+            f"{profile.address_range_blocks * 4096 / 1e9:.1f} GB",
+            f"{profile.unique_blocks:,}",
+            f"{profile.total_ops:,}",
+            f"{profile.write_fraction:.1%}",
+        ])
+    print(format_table(
+        ["workload", "range", "unique blocks", "ops", "writes"],
+        rows,
+        title="Synthetic workload profiles (scaled from Table 3)",
+    ))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    profile = PROFILES[args.workload].scaled(args.scale)
+    trace = generate_trace(profile, seed=args.seed)
+    count = write_trace(args.output, trace.records)
+    print(f"wrote {count:,} requests to {args.output}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    records = _load_records(args)
+    if not records:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    print(analyze(records).summary())
+    return 0
+
+
+def cmd_replay(args) -> int:
+    records = _load_records(args)
+    kind = SystemKind(args.system)
+    system = build_system(_system_config(args, kind, records))
+    stats = system.replay(records, warmup_fraction=args.warmup)
+    device = system.device_stats
+    print(f"system:              {kind.value} ({args.mode})")
+    print(f"requests measured:   {stats.ops:,}")
+    print(f"IOPS:                {stats.iops():,.0f}")
+    print(f"mean latency:        {stats.latency.mean_us:.0f} us")
+    print(f"read miss rate:      {stats.miss_rate():.1f} %")
+    print(f"write amplification: {device.write_amplification():.2f}")
+    print(f"erases:              {system.device.chip.total_erases():,}")
+    print(f"device memory:       {system.device.device_memory_bytes() / 1024:.0f} KiB")
+    print(f"host memory:         {system.manager.host_memory_bytes() / 1024:.1f} KiB")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    records = _load_records(args)
+    rows = []
+    base_iops = None
+    for kind in (SystemKind.NATIVE, SystemKind.SSC, SystemKind.SSC_R):
+        system = build_system(_system_config(args, kind, records))
+        stats = system.replay(records, warmup_fraction=args.warmup)
+        if base_iops is None:
+            base_iops = stats.iops()
+        rows.append([
+            kind.value,
+            f"{stats.iops():,.0f}",
+            f"{100 * stats.iops() / base_iops:.0f}%",
+            f"{stats.miss_rate():.1f}%",
+            f"{system.device_stats.write_amplification():.2f}",
+            f"{system.device.chip.total_erases():,}",
+        ])
+    print(format_table(
+        ["system", "IOPS", "vs native", "miss", "write amp", "erases"],
+        rows,
+        title=f"System comparison ({args.mode} mode)",
+    ))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    records = _load_records(args)
+    system = build_system(_system_config(args, SystemKind.SSC, records))
+    system.replay(records, warmup_fraction=0.0)
+    assert system.ssc is not None
+    cached = system.ssc.cached_blocks()
+    lost = system.ssc.crash()
+    recovery_us = system.ssc.recover()
+    print(f"cache held {cached:,} blocks at the crash "
+          f"({lost} buffered log records lost)")
+    print(f"FlashTier recovery:  {recovery_us / 1000:.2f} ms (simulated)")
+
+    native = build_system(_system_config(args, SystemKind.NATIVE, records))
+    native.replay(records, warmup_fraction=0.0)
+    print(f"Native-FC reload:    {native.manager.recover_manager_us() / 1000:.2f} ms")
+    print(f"Native-SSD OOB scan: {native.manager.recover_device_us() / 1000:.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlashTier (EuroSys 2012) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "workloads", help="list the synthetic workload profiles"
+    ).set_defaults(func=cmd_workloads)
+
+    generate = subparsers.add_parser("generate", help="write a trace file")
+    _add_workload_args(generate)
+    generate.add_argument("-o", "--output", required=True, help="output path")
+    generate.set_defaults(func=cmd_generate)
+
+    analyze_cmd = subparsers.add_parser("analyze", help="trace statistics")
+    _add_trace_source_args(analyze_cmd)
+    analyze_cmd.set_defaults(func=cmd_analyze)
+
+    replay = subparsers.add_parser("replay", help="replay through one system")
+    _add_trace_source_args(replay)
+    replay.add_argument(
+        "--system", choices=[kind.value for kind in SystemKind], default="ssc-r"
+    )
+    replay.add_argument(
+        "--mode", choices=[mode.value for mode in CacheMode], default="wb"
+    )
+    replay.add_argument("--warmup", type=float, default=0.15)
+    replay.add_argument("--no-consistency", action="store_true")
+    replay.set_defaults(func=cmd_replay)
+
+    compare = subparsers.add_parser("compare", help="native vs SSC vs SSC-R")
+    _add_trace_source_args(compare)
+    compare.add_argument(
+        "--mode", choices=[mode.value for mode in CacheMode], default="wb"
+    )
+    compare.add_argument("--warmup", type=float, default=0.15)
+    compare.add_argument("--no-consistency", action="store_true")
+    compare.set_defaults(func=cmd_compare)
+
+    recover = subparsers.add_parser("recover", help="crash-recovery timing demo")
+    _add_trace_source_args(recover)
+    recover.add_argument("--mode", default="wb")
+    recover.add_argument("--no-consistency", action="store_true", help=argparse.SUPPRESS)
+    recover.set_defaults(func=cmd_recover)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

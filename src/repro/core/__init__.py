@@ -1,0 +1,12 @@
+"""High-level facade: build complete FlashTier / native systems."""
+
+from repro.core.config import SystemConfig, SystemKind, CacheMode
+from repro.core.flashtier import FlashTierSystem, build_system
+
+__all__ = [
+    "SystemConfig",
+    "SystemKind",
+    "CacheMode",
+    "FlashTierSystem",
+    "build_system",
+]

@@ -1,0 +1,111 @@
+"""Assembly of complete caching systems.
+
+``build_system`` wires a flash device (SSD or SSC), a disk, and the
+matching cache manager into one :class:`FlashTierSystem` — the unit the
+examples and benchmarks operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.core.config import CacheMode, SystemConfig, SystemKind
+from repro.disk.model import Disk
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.hybrid import HybridFTLConfig
+from repro.ftl.ssd import SSD
+from repro.manager.base import CacheManager
+from repro.manager.native import NativeCacheManager, NativeConfig
+from repro.manager.writeback import FlashTierWBManager, WriteBackConfig
+from repro.manager.writethrough import FlashTierWTManager
+from repro.ssc.device import SolidStateCache, SSCConfig
+from repro.ssc.engine import EvictionPolicy
+from repro.stats.counters import ReplayStats
+from repro.traces.record import TraceRecord
+from repro.traces.replay import replay_trace
+
+
+def cache_geometry(config: SystemConfig) -> FlashGeometry:
+    """Flash geometry provisioning ``cache_blocks`` with slack."""
+    capacity = int(config.cache_blocks * config.capacity_slack) * config.page_size
+    return FlashGeometry.for_capacity(
+        capacity,
+        planes=config.planes,
+        pages_per_block=config.pages_per_block,
+        page_size=config.page_size,
+        oob_bytes=config.oob_bytes,
+    )
+
+
+@dataclass
+class FlashTierSystem:
+    """One assembled caching system: manager + cache device + disk."""
+
+    config: SystemConfig
+    manager: CacheManager
+    disk: Disk
+    ssd: Optional[SSD] = None
+    ssc: Optional[SolidStateCache] = None
+
+    @property
+    def device(self) -> Union[SSD, SolidStateCache]:
+        device = self.ssd if self.ssd is not None else self.ssc
+        assert device is not None
+        return device
+
+    @property
+    def device_stats(self):
+        return self.device.stats
+
+    def replay(
+        self,
+        trace: Sequence[TraceRecord],
+        warmup_fraction: float = 0.0,
+        keep_latencies: bool = False,
+    ) -> ReplayStats:
+        """Replay ``trace`` through this system's manager."""
+        return replay_trace(
+            self.manager,
+            trace,
+            warmup_fraction=warmup_fraction,
+            keep_latencies=keep_latencies,
+        )
+
+    def total_memory_bytes(self) -> int:
+        """Device plus host mapping memory (Table 4's combined view)."""
+        return self.device.device_memory_bytes() + self.manager.host_memory_bytes()
+
+
+def build_system(config: SystemConfig) -> FlashTierSystem:
+    """Assemble the system described by ``config``."""
+    disk = Disk(config.disk_blocks)
+    geometry = cache_geometry(config)
+
+    if config.kind is SystemKind.NATIVE:
+        ssd = SSD(geometry=geometry, config=HybridFTLConfig())
+        manager = NativeCacheManager(
+            ssd,
+            disk,
+            NativeConfig(
+                mode=config.mode.value,
+                dirty_threshold=config.dirty_threshold,
+                consistency=config.consistency,
+            ),
+        )
+        return FlashTierSystem(config=config, manager=manager, disk=disk, ssd=ssd)
+
+    policy = (
+        EvictionPolicy.MERGE if config.kind is SystemKind.SSC_R else EvictionPolicy.UTIL
+    )
+    ssc = SolidStateCache(
+        geometry=geometry,
+        config=SSCConfig(policy=policy, consistency=config.consistency),
+    )
+    if config.mode is CacheMode.WRITE_BACK:
+        manager: CacheManager = FlashTierWBManager(
+            ssc, disk, WriteBackConfig(dirty_threshold=config.dirty_threshold)
+        )
+    else:
+        manager = FlashTierWTManager(ssc, disk)
+    return FlashTierSystem(config=config, manager=manager, disk=disk, ssc=ssc)

@@ -1,0 +1,5 @@
+"""Rotating-disk substrate (the storage tier behind the cache)."""
+
+from repro.disk.model import Disk, DiskTimingModel, DiskStats
+
+__all__ = ["Disk", "DiskTimingModel", "DiskStats"]

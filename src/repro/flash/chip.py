@@ -1,0 +1,163 @@
+"""The flash chip: planes wired to a timing model and wear accounting.
+
+The chip is the boundary between FTL logic (above) and the NAND model
+(below).  Every operation returns its service time in microseconds so the
+device layer can account request latency; the chip itself also keeps
+aggregate statistics (reads, programs, erases, wear spread) that the
+evaluation's Table 5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.flash.block import EraseBlock
+from repro.flash.geometry import FlashGeometry
+from repro.flash.page import OOBData, Page, PageState
+from repro.flash.plane import Plane
+from repro.flash.timing import TimingModel
+
+
+@dataclass
+class FlashStats:
+    """Cumulative operation counts for one chip."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    block_erases: int = 0
+    oob_scans: int = 0
+    busy_us: float = 0.0
+
+    def snapshot(self) -> "FlashStats":
+        """Return an independent copy (for before/after deltas)."""
+        return FlashStats(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            block_erases=self.block_erases,
+            oob_scans=self.oob_scans,
+            busy_us=self.busy_us,
+        )
+
+
+class FlashChip:
+    """A complete NAND chip: geometry, planes, timing, statistics."""
+
+    def __init__(
+        self,
+        geometry: Optional[FlashGeometry] = None,
+        timing: Optional[TimingModel] = None,
+    ):
+        self.geometry = geometry or FlashGeometry()
+        self.timing = timing or TimingModel()
+        self.stats = FlashStats()
+        self.planes: List[Plane] = []
+        pages = self.geometry.pages_per_block
+        for plane_id in range(self.geometry.planes):
+            blocks = [
+                EraseBlock(pbn, pages)
+                for pbn in self.geometry.blocks_in_plane(plane_id)
+            ]
+            self.planes.append(Plane(plane_id, blocks))
+        self._write_seq = 0
+
+    # ---- lookup helpers --------------------------------------------------
+
+    def plane_of_block(self, pbn: int) -> Plane:
+        """Plane owning block ``pbn``."""
+        return self.planes[self.geometry.pbn_to_plane(pbn)]
+
+    def block(self, pbn: int) -> EraseBlock:
+        """Erase block ``pbn``."""
+        return self.plane_of_block(pbn).block(pbn)
+
+    def page(self, ppn: int) -> Page:
+        """Page object for ``ppn`` (no timing cost; simulator internal)."""
+        self.geometry.check_ppn(ppn)
+        pbn = self.geometry.ppn_to_pbn(ppn)
+        offset = self.geometry.ppn_to_offset(ppn)
+        return self.block(pbn).pages[offset]
+
+    def next_seq(self) -> int:
+        """Monotonic write sequence number stamped into each page's OOB."""
+        self._write_seq += 1
+        return self._write_seq
+
+    # ---- timed operations -------------------------------------------------
+
+    def read_page(self, ppn: int) -> Tuple[Any, Optional[OOBData], float]:
+        """Read page ``ppn``; returns (data, oob, cost_us).
+
+        Reading a FREE or INVALID page is legal at the NAND level (it
+        returns whatever is in the cells); the FTL above decides whether
+        that is meaningful.
+        """
+        page = self.page(ppn)
+        cost = self.timing.read_cost()
+        self.stats.page_reads += 1
+        self.stats.busy_us += cost
+        return page.data, page.oob, cost
+
+    def program_page(self, ppn: int, data: Any, oob: OOBData) -> float:
+        """Program page ``ppn`` with data + OOB; returns cost_us.
+
+        Enforces NAND constraints: the page must be FREE and must be the
+        block's next sequential page.  The OOB write is free (overlapped
+        with the data program, per the paper's assumption).
+        """
+        self.geometry.check_ppn(ppn)
+        pbn = self.geometry.ppn_to_pbn(ppn)
+        offset = self.geometry.ppn_to_offset(ppn)
+        self.block(pbn).program(offset, data, oob)
+        cost = self.timing.write_cost()
+        self.stats.page_writes += 1
+        self.stats.busy_us += cost
+        return cost
+
+    def erase_block(self, pbn: int) -> float:
+        """Erase block ``pbn`` and return it to its plane's free list."""
+        block = self.block(pbn)
+        block.erase()
+        self.plane_of_block(pbn).release(block)
+        cost = self.timing.erase_cost()
+        self.stats.block_erases += 1
+        self.stats.busy_us += cost
+        return cost
+
+    def scan_oob(self, ppn: int) -> Tuple[Optional[OOBData], "PageState", float]:
+        """Read only the OOB area of ``ppn`` (used by native recovery)."""
+        page = self.page(ppn)
+        cost = self.timing.oob_read_cost()
+        self.stats.oob_scans += 1
+        self.stats.busy_us += cost
+        return page.oob, page.state, cost
+
+    # ---- wear accounting ----------------------------------------------------
+
+    def total_erases(self) -> int:
+        """Sum of erase counts over every block."""
+        return sum(
+            block.erase_count
+            for plane in self.planes
+            for block in plane.blocks.values()
+        )
+
+    def wear_differential(self) -> int:
+        """Max minus min per-block erase count (Table 5's "Wear Diff.")."""
+        counts = [
+            block.erase_count
+            for plane in self.planes
+            for block in plane.blocks.values()
+        ]
+        return max(counts) - min(counts) if counts else 0
+
+    def free_blocks_total(self) -> int:
+        """Free erased blocks summed over all planes."""
+        return sum(plane.free_count for plane in self.planes)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashChip(planes={self.geometry.planes}, "
+            f"blocks={self.geometry.total_blocks}, "
+            f"free={self.free_blocks_total()})"
+        )

@@ -1,0 +1,139 @@
+"""Flash geometry and physical address arithmetic.
+
+The paper's emulation parameters (Table 2): 10 flash planes, 256 erase
+blocks per plane, 64 pages per erase block, 4096-byte pages — and the
+evaluation "scales the size of each plane to vary the SSD capacity".
+Physical page numbers (PPNs) and physical block numbers (PBNs) are flat
+indexes over the whole chip; this module converts between them and
+(plane, block, page) coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, InvalidAddressError
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Immutable description of a flash chip's layout.
+
+    Attributes mirror Table 2 of the paper; ``oob_bytes`` is the per-page
+    out-of-band area (64-224 bytes per the paper; we default to 64).
+    """
+
+    planes: int = 10
+    blocks_per_plane: int = 256
+    pages_per_block: int = 64
+    page_size: int = 4096
+    oob_bytes: int = 64
+
+    def __post_init__(self):
+        for name in ("planes", "blocks_per_plane", "pages_per_block", "page_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.oob_bytes < 0:
+            raise ConfigError("oob_bytes must be >= 0")
+
+    # ---- derived sizes -------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        """Erase blocks on the whole chip."""
+        return self.planes * self.blocks_per_plane
+
+    @property
+    def total_pages(self) -> int:
+        """Pages on the whole chip."""
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block (256 KB with default parameters)."""
+        return self.pages_per_block * self.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw chip capacity in bytes."""
+        return self.total_pages * self.page_size
+
+    # ---- address conversions -------------------------------------------
+
+    def check_ppn(self, ppn: int) -> None:
+        """Raise if ``ppn`` is not a valid physical page number."""
+        if not 0 <= ppn < self.total_pages:
+            raise InvalidAddressError(f"ppn {ppn} out of range [0, {self.total_pages})")
+
+    def check_pbn(self, pbn: int) -> None:
+        """Raise if ``pbn`` is not a valid physical block number."""
+        if not 0 <= pbn < self.total_blocks:
+            raise InvalidAddressError(f"pbn {pbn} out of range [0, {self.total_blocks})")
+
+    def ppn_to_pbn(self, ppn: int) -> int:
+        """Physical block containing page ``ppn``."""
+        self.check_ppn(ppn)
+        return ppn // self.pages_per_block
+
+    def ppn_to_offset(self, ppn: int) -> int:
+        """Page offset of ``ppn`` within its erase block."""
+        self.check_ppn(ppn)
+        return ppn % self.pages_per_block
+
+    def pbn_to_plane(self, pbn: int) -> int:
+        """Plane index owning block ``pbn``."""
+        self.check_pbn(pbn)
+        return pbn // self.blocks_per_plane
+
+    def make_ppn(self, pbn: int, offset: int) -> int:
+        """Compose a PPN from a block number and in-block page offset."""
+        self.check_pbn(pbn)
+        if not 0 <= offset < self.pages_per_block:
+            raise InvalidAddressError(
+                f"page offset {offset} out of range [0, {self.pages_per_block})"
+            )
+        return pbn * self.pages_per_block + offset
+
+    def make_pbn(self, plane: int, block: int) -> int:
+        """Compose a PBN from a plane index and in-plane block index."""
+        if not 0 <= plane < self.planes:
+            raise InvalidAddressError(f"plane {plane} out of range [0, {self.planes})")
+        if not 0 <= block < self.blocks_per_plane:
+            raise InvalidAddressError(
+                f"block {block} out of range [0, {self.blocks_per_plane})"
+            )
+        return plane * self.blocks_per_plane + block
+
+    def blocks_in_plane(self, plane: int):
+        """Iterate PBNs belonging to ``plane``."""
+        if not 0 <= plane < self.planes:
+            raise InvalidAddressError(f"plane {plane} out of range [0, {self.planes})")
+        start = plane * self.blocks_per_plane
+        return range(start, start + self.blocks_per_plane)
+
+    @classmethod
+    def for_capacity(
+        cls,
+        capacity_bytes: int,
+        planes: int = 10,
+        pages_per_block: int = 64,
+        page_size: int = 4096,
+        oob_bytes: int = 64,
+    ) -> "FlashGeometry":
+        """Build a geometry of at least ``capacity_bytes``, scaling planes.
+
+        Mirrors the paper's method of scaling plane size to vary capacity:
+        the per-plane block count is raised until the chip is big enough.
+        """
+        if capacity_bytes <= 0:
+            raise ConfigError("capacity_bytes must be positive")
+        block_size = pages_per_block * page_size
+        total_blocks = -(-capacity_bytes // block_size)  # ceil
+        blocks_per_plane = max(1, -(-total_blocks // planes))
+        return cls(
+            planes=planes,
+            blocks_per_plane=blocks_per_plane,
+            pages_per_block=pages_per_block,
+            page_size=page_size,
+            oob_bytes=oob_bytes,
+        )

@@ -1,0 +1,60 @@
+"""Flash pages and their out-of-band (OOB) metadata.
+
+A page holds an opaque data payload (the simulator stores a small token
+rather than 4 KB of bytes, in the style of the David emulator the paper
+cites) plus an OOB record.  The OOB area carries the *reverse map* — the
+logical block the page holds — and the page's clean/dirty state, which
+the SSC uses for garbage collection and which the native SSD baseline
+must scan at recovery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Any, Optional
+
+
+class PageState(Enum):
+    """Lifecycle of a flash page between erases."""
+
+    FREE = auto()      # erased, programmable
+    VALID = auto()     # holds live, mapped data
+    INVALID = auto()   # holds stale data awaiting erase
+
+
+@dataclass
+class OOBData:
+    """Out-of-band record written alongside a page program.
+
+    ``lbn`` is the logical block number the page holds (the *disk*
+    address for an SSC, the SSD-internal address for an SSD).  ``dirty``
+    marks write-back data not yet on disk.  ``seq`` is a monotonically
+    increasing write sequence used to disambiguate multiple flash copies
+    of the same logical block during OOB recovery scans.
+    """
+
+    lbn: Optional[int] = None
+    dirty: bool = False
+    seq: int = 0
+
+
+class Page:
+    """One 4 KB flash page."""
+
+    __slots__ = ("state", "data", "oob")
+
+    def __init__(self):
+        self.state = PageState.FREE
+        self.data: Any = None
+        self.oob: Optional[OOBData] = None
+
+    def reset(self) -> None:
+        """Return the page to the erased state (called by block erase)."""
+        self.state = PageState.FREE
+        self.data = None
+        self.oob = None
+
+    def __repr__(self) -> str:
+        lbn = self.oob.lbn if self.oob is not None else None
+        return f"Page(state={self.state.name}, lbn={lbn})"

@@ -1,0 +1,98 @@
+"""Flash planes.
+
+A plane owns a contiguous range of erase blocks and tracks which of them
+are free (erased and unassigned).  Garbage collection in both the SSD and
+the SSC operates plane-by-plane — the collector "selects a flash plane to
+clean" (paper §4.3) — so free-block accounting lives here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List
+
+from repro.errors import InvalidAddressError
+from repro.flash.block import BlockKind, EraseBlock
+
+
+class Plane:
+    """One flash plane: a block range plus a FIFO free list."""
+
+    def __init__(self, plane_id: int, blocks: List[EraseBlock]):
+        self.plane_id = plane_id
+        self.blocks: Dict[int, EraseBlock] = {block.pbn: block for block in blocks}
+        self._free: Deque[int] = deque(sorted(self.blocks))
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def free_count(self) -> int:
+        """Number of erased, unassigned blocks."""
+        return len(self._free)
+
+    def block(self, pbn: int) -> EraseBlock:
+        """Look up a block owned by this plane."""
+        try:
+            return self.blocks[pbn]
+        except KeyError:
+            raise InvalidAddressError(
+                f"block {pbn} not in plane {self.plane_id}"
+            ) from None
+
+    def allocate(self, kind: BlockKind) -> EraseBlock:
+        """Take a free block (FIFO) and assign it role ``kind``.
+
+        Raises IndexError if the plane has no free blocks; callers run
+        garbage collection / silent eviction before hitting this.
+        """
+        if not self._free:
+            raise IndexError(f"plane {self.plane_id} has no free blocks")
+        pbn = self._free.popleft()
+        block = self.blocks[pbn]
+        block.kind = kind
+        return block
+
+    def allocate_specific(self, pbn: int, kind: BlockKind) -> EraseBlock:
+        """Take a *particular* free block (wear-leveling allocation)."""
+        try:
+            self._free.remove(pbn)
+        except ValueError:
+            raise InvalidAddressError(
+                f"block {pbn} is not free in plane {self.plane_id}"
+            ) from None
+        block = self.blocks[pbn]
+        block.kind = kind
+        return block
+
+    def free_pbns(self):
+        """Iterate the free blocks' numbers (oldest-freed first)."""
+        return iter(self._free)
+
+    def release(self, block: EraseBlock) -> None:
+        """Return an erased block to the free list (after ``erase()``)."""
+        if block.pbn not in self.blocks:
+            raise InvalidAddressError(
+                f"block {block.pbn} not in plane {self.plane_id}"
+            )
+        if block.kind is not BlockKind.FREE:
+            raise ValueError(
+                f"block {block.pbn} must be erased before release "
+                f"(kind={block.kind.name})"
+            )
+        self._free.append(block.pbn)
+
+    def is_free(self, pbn: int) -> bool:
+        """True if block ``pbn`` sits on this plane's free list."""
+        return pbn in self._free
+
+    def blocks_of_kind(self, kind: BlockKind) -> Iterable[EraseBlock]:
+        """Yield this plane's blocks currently assigned role ``kind``."""
+        return (block for block in self.blocks.values() if block.kind is kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"Plane(id={self.plane_id}, blocks={self.num_blocks}, "
+            f"free={self.free_count})"
+        )

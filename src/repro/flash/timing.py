@@ -1,0 +1,59 @@
+"""Flash timing model (Table 2 of the paper).
+
+Page read 65 us, page write 85 us, block erase 1000 us, bus control
+delay 2 us, control delay 10 us.  A page operation pays the control
+delay (command issue) plus the bus delay (data transfer) plus the cell
+operation itself; an erase has no data transfer, so it pays control +
+erase only.  OOB reads/writes piggyback on page operations and are free
+on the write path (the paper assumes OOB writes overlap data writes) but
+cost a page read when scanned during native recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Operation latencies in microseconds."""
+
+    page_read_us: float = 65.0
+    page_write_us: float = 85.0
+    block_erase_us: float = 1000.0
+    bus_delay_us: float = 2.0
+    control_delay_us: float = 10.0
+
+    def __post_init__(self):
+        for name in (
+            "page_read_us",
+            "page_write_us",
+            "block_erase_us",
+            "bus_delay_us",
+            "control_delay_us",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def read_cost(self) -> float:
+        """Service time of one page read, including command and transfer."""
+        return self.control_delay_us + self.page_read_us + self.bus_delay_us
+
+    def write_cost(self) -> float:
+        """Service time of one page program, including command and transfer."""
+        return self.control_delay_us + self.bus_delay_us + self.page_write_us
+
+    def erase_cost(self) -> float:
+        """Service time of one block erase."""
+        return self.control_delay_us + self.block_erase_us
+
+    def oob_read_cost(self) -> float:
+        """Cost of reading only a page's OOB area (recovery scans).
+
+        Reading the OOB still requires a full page-array sense, so it
+        costs the same as a page read; this is why the native system's
+        OOB recovery scan is slow.
+        """
+        return self.read_cost()

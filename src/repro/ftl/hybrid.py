@@ -1,0 +1,567 @@
+"""FAST-style hybrid FTL — the conventional SSD's internals.
+
+This is the baseline flash translation layer the paper attributes to
+modern SSDs (§4.3) and implements on FlashSim: the drive is split into
+*data blocks*, managed with coarse block-level translations (256 KB),
+and *log blocks*, managed with fine 4 KB page-level translations.  All
+writes append to log blocks; garbage collection later *merges* log
+contents into data blocks:
+
+* **Full merge** — for each logical group with pages in the victim log
+  block, copy the newest version of every live page (from the old data
+  block and any log block) into a freshly allocated block, then erase
+  the old data block.  This is the expensive path: up to 64 copies plus
+  two erases per group.
+* **Switch merge** — a log block that was written exactly sequentially,
+  covering one whole group, simply *becomes* the group's data block; no
+  copies at all.
+
+The SSD over-provisions ~7 % of its raw capacity: those blocks form the
+log pool and merge workspace, and the exposed logical capacity is what
+remains.  Because an SSD promises to store every written block forever,
+garbage collection must always copy live data — it may never drop it.
+That is precisely the constraint the SSC (``repro.ssc``) relaxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple
+
+from repro.errors import ConfigError, InvalidAddressError
+from repro.flash.block import BlockKind, EraseBlock
+from repro.flash.chip import FlashChip
+from repro.flash.page import OOBData, PageState
+from repro.ftl.base import FTLStats
+from repro.ftl.mapping import DenseBlockMap, DensePageMap
+from repro.ftl.wear import WearConfig, WearLeveler
+
+
+@dataclass(frozen=True)
+class HybridFTLConfig:
+    """Tunables for the hybrid FTL.
+
+    ``log_fraction`` is the share of raw blocks reserved as log blocks
+    (the paper fixes 7 % over-provisioning for the SSD).  ``spare_blocks``
+    is the merge-workspace floor: the free pool is never allowed to drain
+    below it, so a merge can always allocate its destination block.
+    """
+
+    log_fraction: float = 0.07
+    spare_blocks: int = 8
+    sequential_log: bool = True
+    wear: WearConfig = WearConfig()
+
+    def __post_init__(self):
+        if not 0.0 < self.log_fraction < 0.5:
+            raise ConfigError("log_fraction must be in (0, 0.5)")
+        if self.spare_blocks < 4:
+            raise ConfigError("spare_blocks must be >= 4 (merge workspace)")
+
+
+class HybridFTL:
+    """Hybrid-mapped FTL over a :class:`~repro.flash.chip.FlashChip`."""
+
+    def __init__(self, chip: FlashChip, config: Optional[HybridFTLConfig] = None):
+        self.chip = chip
+        self.config = config or HybridFTLConfig()
+        self.stats = FTLStats()
+        geometry = chip.geometry
+
+        total = geometry.total_blocks
+        self.log_blocks_target = max(1, int(total * self.config.log_fraction))
+        self.logical_groups = total - self.log_blocks_target - self.config.spare_blocks
+        if self.logical_groups <= 0:
+            raise ConfigError(
+                "chip too small: no logical capacity left after reserving "
+                f"{self.log_blocks_target} log + {self.config.spare_blocks} spare blocks"
+            )
+        self.pages_per_block = geometry.pages_per_block
+        self.logical_pages = self.logical_groups * self.pages_per_block
+
+        self.data_map = DenseBlockMap(self.logical_groups)
+        self.log_map = DensePageMap(self.log_blocks_target * self.pages_per_block)
+        # Random log blocks in allocation (age) order; the merge victim is
+        # the oldest.  FAST additionally dedicates one *sequential* log
+        # block to runs that start at a group boundary, so streaming
+        # writes convert to data blocks via cheap switch merges.
+        self._log_blocks: Deque[int] = deque()
+        self._active_log: Optional[EraseBlock] = None
+        self._seq_log: Optional[EraseBlock] = None
+        self._seq_next_lpn: Optional[int] = None
+        self._last_lpn: Optional[int] = None
+        # Blocks participating in an in-flight merge; the SSC subclass
+        # must never pick them as silent-eviction victims.
+        self._gc_protected: set = set()
+        self.wear = WearLeveler(chip, self.config.wear)
+        self._allocate_hot = False
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise InvalidAddressError(
+                f"lpn {lpn} out of range [0, {self.logical_pages})"
+            )
+
+    def _group_of(self, lpn: int) -> int:
+        return lpn // self.pages_per_block
+
+    def _offset_of(self, lpn: int) -> int:
+        return lpn % self.pages_per_block
+
+    # ------------------------------------------------------------------
+    # Block allocation
+    # ------------------------------------------------------------------
+
+    def _plane_with_most_free(self):
+        return max(self.chip.planes, key=lambda plane: plane.free_count)
+
+    def _allocate_block(self, kind: BlockKind) -> EraseBlock:
+        plane = self._plane_with_most_free()
+        if plane.free_count == 0:
+            raise ConfigError(
+                "free-block pool exhausted; spare_blocks invariant violated"
+            )
+        return self.wear.pick_block(plane, kind, hottest=self._allocate_hot)
+
+    def free_blocks(self) -> int:
+        """Free erased blocks chip-wide."""
+        return self.chip.free_blocks_total()
+
+    # ------------------------------------------------------------------
+    # Public block-device interface
+    # ------------------------------------------------------------------
+
+    def read(self, lpn: int) -> Tuple[Any, float]:
+        """Read logical page ``lpn``; returns (data, cost_us).
+
+        Unwritten pages read back as ``None`` at control-delay cost, like
+        a disk returning zeroes.
+        """
+        self._check_lpn(lpn)
+        self.stats.user_reads += 1
+        ppn = self.log_map.lookup(lpn)
+        if ppn is not None:
+            data, _oob, cost = self.chip.read_page(ppn)
+            return data, cost
+        pbn = self.data_map.lookup(self._group_of(lpn))
+        if pbn is not None:
+            block = self.chip.block(pbn)
+            offset = self._offset_of(lpn)
+            page = block.pages[offset]
+            if page.state is PageState.VALID:
+                data, _oob, cost = self.chip.read_page(
+                    self.chip.geometry.make_ppn(pbn, offset)
+                )
+                return data, cost
+        return None, self.chip.timing.control_delay_us
+
+    def write(self, lpn: int, data: Any, dirty: bool = False) -> float:
+        """Write logical page ``lpn``; returns cost_us.
+
+        ``dirty`` is carried into the page's OOB so the native write-back
+        manager's recovery scan can distinguish dirty cached blocks.
+        """
+        self._check_lpn(lpn)
+        cost = self._invalidate(lpn)
+        if self.config.sequential_log:
+            seq_cost = self._try_sequential_write(lpn, data, dirty)
+            if seq_cost is not None:
+                self.stats.user_writes += 1
+                self._last_lpn = lpn
+                return cost + seq_cost
+        cost += self._random_log_write(lpn, data, dirty)
+        self.stats.user_writes += 1
+        self._last_lpn = lpn
+        return cost
+
+    def trim(self, lpn: int) -> float:
+        """Drop ``lpn``: invalidate its flash copy and unmap it."""
+        self._check_lpn(lpn)
+        return self._invalidate(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        """True if ``lpn`` currently holds written data."""
+        if lpn in self.log_map:
+            return True
+        pbn = self.data_map.lookup(self._group_of(lpn))
+        if pbn is None:
+            return False
+        return self.chip.block(pbn).pages[self._offset_of(lpn)].state is PageState.VALID
+
+    def set_page_dirty(self, lpn: int, dirty: bool) -> None:
+        """Flip the OOB dirty flag on ``lpn``'s current flash copy."""
+        ppn = self.log_map.lookup(lpn)
+        if ppn is None:
+            pbn = self.data_map.lookup(self._group_of(lpn))
+            if pbn is None:
+                return
+            ppn = self.chip.geometry.make_ppn(pbn, self._offset_of(lpn))
+        block = self.chip.block(self.chip.geometry.ppn_to_pbn(ppn))
+        offset = self.chip.geometry.ppn_to_offset(ppn)
+        if dirty:
+            block.mark_dirty(offset)
+        else:
+            block.mark_clean(offset)
+
+    # ------------------------------------------------------------------
+    # Internals: invalidation, log slots, merges
+    # ------------------------------------------------------------------
+
+    def _invalidate(self, lpn: int) -> float:
+        """Invalidate any current flash copy of ``lpn`` (metadata only)."""
+        ppn = self.log_map.remove(lpn)
+        if ppn is not None:
+            pbn = self.chip.geometry.ppn_to_pbn(ppn)
+            self.chip.block(pbn).invalidate(self.chip.geometry.ppn_to_offset(ppn))
+            return 0.0
+        pbn = self.data_map.lookup(self._group_of(lpn))
+        if pbn is not None:
+            self.chip.block(pbn).invalidate(self._offset_of(lpn))
+        return 0.0
+
+    # ---- sequential log block (FAST's SW log) -------------------------
+
+    def _try_sequential_write(self, lpn: int, data: Any, dirty: bool) -> Optional[float]:
+        """Route ``lpn`` through the sequential log block if it fits.
+
+        Returns the write's cost, or None if the write is not sequential
+        and should take the random-log path.
+        """
+        continues_run = (
+            self._seq_log is not None
+            and not self._seq_log.is_full
+            and lpn == self._seq_next_lpn
+        )
+        # A run only *starts* when a write lands on a group boundary while
+        # continuing an already-sequential stream.  Plain FAST redirects
+        # every offset-0 write to the sequential log, which thrashes on
+        # random workloads (each one forces a partial merge).
+        starts_run = (
+            lpn % self.pages_per_block == 0
+            and self._last_lpn is not None
+            and lpn == self._last_lpn + 1
+        )
+        if not continues_run and not starts_run:
+            return None
+
+        cost = 0.0
+        if not continues_run:
+            cost += self._retire_seq_log()
+            if self.free_blocks() < 2:
+                # No room to dedicate a block to the run: fall back.
+                if cost == 0.0:
+                    return None
+                return cost + self._random_log_write(lpn, data, dirty)
+            self._seq_log = self._allocate_block(BlockKind.LOG)
+            self._seq_next_lpn = lpn
+
+        block = self._seq_log
+        assert block is not None
+        ppn = self.chip.geometry.make_ppn(block.pbn, block.write_pointer)
+        oob = OOBData(lbn=lpn, dirty=dirty, seq=self.chip.next_seq())
+        cost += self.chip.program_page(ppn, data, oob)
+        self.log_map.insert(lpn, ppn)
+        self._seq_next_lpn = lpn + 1
+        if block.is_full:
+            cost += self._retire_seq_log()
+        return cost
+
+    def _random_log_write(self, lpn: int, data: Any, dirty: bool) -> float:
+        block, offset, cost = self._log_write_slot()
+        ppn = self.chip.geometry.make_ppn(block.pbn, offset)
+        oob = OOBData(lbn=lpn, dirty=dirty, seq=self.chip.next_seq())
+        cost += self.chip.program_page(ppn, data, oob)
+        self.log_map.insert(lpn, ppn)
+        return cost
+
+    def _retire_seq_log(self) -> float:
+        """Convert the sequential log block into a data block.
+
+        If the run filled the whole block this is a pure switch merge; a
+        partial run first copies the group's remaining live pages from
+        the old data block (FAST's *partial merge*), then switches.
+        """
+        block = self._seq_log
+        self._seq_log = None
+        self._seq_next_lpn = None
+        if block is None:
+            return 0.0
+        if block.valid_count == 0:
+            # Every page was overwritten through the random log already.
+            return self.chip.erase_block(block.pbn)
+        if block.valid_count != block.write_pointer:
+            # Some of the run's pages were superseded (overwritten via
+            # the random log, or relocated by a merge) while the block
+            # was open.  Those offsets are programmed-but-invalid, so the
+            # block can no longer represent its group whole — converting
+            # it would orphan the newest copies still living in the old
+            # data block.  Demote it to the random log pool; its valid
+            # pages stay reachable through the page map and ordinary
+            # merges will recycle it.
+            self._log_blocks.append(block.pbn)
+            return 0.0
+        assert block.first_lbn is not None
+        group = self._group_of(block.first_lbn)
+        base_lpn = group * self.pages_per_block
+        old_pbn = self.data_map.lookup(group)
+
+        cost = 0.0
+        partial = not block.is_full
+        if old_pbn is not None:
+            old = self.chip.block(old_pbn)
+            # Copy live pages the run did not cover (offsets past the
+            # write pointer; covered offsets were invalidated on write).
+            for offset in range(block.write_pointer, self.pages_per_block):
+                page = old.pages[offset]
+                if page.state is not PageState.VALID:
+                    continue
+                lpn = base_lpn + offset
+                if lpn in self.log_map:
+                    continue  # newer copy lives in a random log block
+                src_ppn = self.chip.geometry.make_ppn(old_pbn, offset)
+                data, oob, read_cost = self.chip.read_page(src_ppn)
+                cost += read_cost
+                self.stats.gc_page_reads += 1
+                dst_ppn = self.chip.geometry.make_ppn(block.pbn, offset)
+                cost += self.chip.program_page(
+                    dst_ppn,
+                    data,
+                    OOBData(lbn=lpn, dirty=bool(oob and oob.dirty), seq=self.chip.next_seq()),
+                )
+                self.stats.gc_page_writes += 1
+                old.invalidate(offset)
+        # Remove log-map entries that point into this block; entries that
+        # point at newer random-log copies stay.
+        for offset in range(self.pages_per_block):
+            page = block.pages[offset]
+            if page.state is PageState.VALID and page.oob is not None:
+                self.log_map.remove(page.oob.lbn)
+        block.kind = BlockKind.DATA
+        self.data_map.insert(group, block.pbn)
+        if old_pbn is not None:
+            old = self.chip.block(old_pbn)
+            for offset in old.valid_offsets():
+                old.invalidate(offset)
+            cost += self.chip.erase_block(old_pbn)
+        if partial:
+            self.stats.partial_merges += 1
+        else:
+            self.stats.switch_merges += 1
+        return cost
+
+    def _log_write_slot(self) -> Tuple[EraseBlock, int, float]:
+        """Return (block, offset) of the next log page, running GC if needed."""
+        cost = 0.0
+        if self._active_log is None or self._active_log.is_full:
+            cost += self._open_log_block()
+        block = self._active_log
+        assert block is not None
+        return block, block.write_pointer, cost
+
+    def _open_log_block(self) -> float:
+        """Allocate a fresh log block, merging old ones first if needed."""
+        cost = 0.0
+        while (
+            len(self._log_blocks) >= self.log_blocks_target
+            or self.free_blocks() <= self.config.spare_blocks
+        ):
+            cost += self._merge_victim_log_block()
+        block = self._allocate_block(BlockKind.LOG)
+        self._log_blocks.append(block.pbn)
+        self._active_log = block
+        return cost
+
+    def _merge_victim_log_block(self) -> float:
+        """Merge the oldest log block back into data blocks; returns cost."""
+        if not self._log_blocks:
+            if self._seq_log is not None:
+                return self._retire_seq_log()
+            raise ConfigError("no log blocks to merge but free pool exhausted")
+        victim_pbn = self._log_blocks.popleft()
+        victim = self.chip.block(victim_pbn)
+        was_active = victim is self._active_log
+        if was_active:
+            self._active_log = None
+
+        cost = 0.0
+        try:
+            if self._is_switch_mergeable(victim):
+                cost += self._switch_merge(victim)
+            else:
+                groups = sorted(
+                    {
+                        self._group_of(victim.pages[offset].oob.lbn)
+                        for offset in victim.valid_offsets()
+                    }
+                )
+                for group in groups:
+                    cost += self._full_merge_group(group)
+                # Every live page belonged to one of those groups, so the
+                # victim must be empty now; erase it back to the free pool.
+                assert victim.valid_count == 0, "full merge left live pages behind"
+                cost += self.chip.erase_block(victim_pbn)
+        except Exception:
+            # A mid-merge failure (e.g. the SSC's cache-full condition)
+            # must not leak the victim out of the log pool: its remaining
+            # live pages are still mapped through the page map.
+            if victim.kind is BlockKind.LOG:
+                self._log_blocks.appendleft(victim_pbn)
+                if was_active:
+                    self._active_log = victim
+            raise
+        cost += self._maybe_static_relocation()
+        return cost
+
+    def _maybe_static_relocation(self) -> float:
+        """Relocate the coldest data block when wear skews too far.
+
+        Cold data parks on low-wear blocks and shields them from erases;
+        moving it onto a high-wear block (and erasing its old home) keeps
+        the wear differential bounded (Table 5's "Wear Diff.").
+        """
+        if self._allocate_hot:
+            return 0.0  # already inside a relocation; do not recurse
+        if not self.wear.static_due():
+            return 0.0
+        victim = self.wear.coldest_data_block(self._gc_protected)
+        if victim is None:
+            return 0.0
+        group = self._group_of_data_block(victim.pbn)
+        if group is None:
+            return 0.0
+        self._allocate_hot = True
+        try:
+            cost = self._full_merge_group(group)
+        finally:
+            self._allocate_hot = False
+        self.wear.static_relocations += 1
+        return cost
+
+    def _group_of_data_block(self, pbn: int) -> Optional[int]:
+        """Logical group mapped to data block ``pbn``, or None."""
+        for group, mapped_pbn in self.data_map.items():
+            if mapped_pbn == pbn:
+                return group
+        return None
+
+    def _is_switch_mergeable(self, block: EraseBlock) -> bool:
+        if not (block.sequential and block.is_full and block.first_lbn is not None):
+            return False
+        if block.first_lbn % self.pages_per_block != 0:
+            return False
+        # Every page must still be live: one overwrite breaks the switch.
+        return block.valid_count == block.num_pages
+
+    def _switch_merge(self, victim: EraseBlock) -> float:
+        """Promote a sequentially-written log block to a data block."""
+        group = self._group_of(victim.first_lbn)
+        cost = 0.0
+        old_pbn = self.data_map.insert(group, victim.pbn)
+        victim.kind = BlockKind.DATA
+        for offset in range(victim.num_pages):
+            self.log_map.remove(victim.first_lbn + offset)
+        if old_pbn is not None:
+            old = self.chip.block(old_pbn)
+            for offset in old.valid_offsets():
+                old.invalidate(offset)
+            cost += self.chip.erase_block(old_pbn)
+        self.stats.switch_merges += 1
+        return cost
+
+    def _full_merge_group(self, group: int) -> float:
+        """Copy the newest version of every live page of ``group`` into a
+        fresh data block, then erase the group's old data block."""
+        cost = 0.0
+        old_pbn = self.data_map.lookup(group)
+        base_lpn = group * self.pages_per_block
+
+        live = []  # (offset, source_ppn)
+        for offset in range(self.pages_per_block):
+            lpn = base_lpn + offset
+            ppn = self.log_map.lookup(lpn)
+            if ppn is not None:
+                live.append((offset, ppn))
+            elif old_pbn is not None:
+                page = self.chip.block(old_pbn).pages[offset]
+                if page.state is PageState.VALID:
+                    live.append(
+                        (offset, self.chip.geometry.make_ppn(old_pbn, offset))
+                    )
+
+        if old_pbn is not None:
+            self._gc_protected.add(old_pbn)
+        try:
+            if not live:
+                self.data_map.remove(group)
+            else:
+                new_block = self._allocate_block(BlockKind.DATA)
+                self._gc_protected.add(new_block.pbn)
+                for offset, src_ppn in live:
+                    data, oob, read_cost = self.chip.read_page(src_ppn)
+                    cost += read_cost
+                    self.stats.gc_page_reads += 1
+                    dst_ppn = self.chip.geometry.make_ppn(new_block.pbn, offset)
+                    new_oob = OOBData(
+                        lbn=base_lpn + offset,
+                        dirty=bool(oob and oob.dirty),
+                        seq=self.chip.next_seq(),
+                    )
+                    cost += self.chip.program_page(dst_ppn, data, new_oob)
+                    self.stats.gc_page_writes += 1
+                    # Invalidate the source copy and drop any log mapping.
+                    src_pbn = self.chip.geometry.ppn_to_pbn(src_ppn)
+                    self.chip.block(src_pbn).invalidate(
+                        self.chip.geometry.ppn_to_offset(src_ppn)
+                    )
+                    self.log_map.remove(base_lpn + offset)
+                self.data_map.insert(group, new_block.pbn)
+                self._gc_protected.discard(new_block.pbn)
+
+            if old_pbn is not None:
+                old = self.chip.block(old_pbn)
+                for offset in old.valid_offsets():
+                    old.invalidate(offset)
+                cost += self.chip.erase_block(old_pbn)
+        finally:
+            if old_pbn is not None:
+                self._gc_protected.discard(old_pbn)
+        self.stats.full_merges += 1
+        return cost
+
+    # ------------------------------------------------------------------
+    # Background garbage collection
+    # ------------------------------------------------------------------
+
+    def background_step(self) -> float:
+        """One increment of idle-time garbage collection.
+
+        Recycles a log block early so foreground writes find a fresh
+        pool instead of stalling on a merge.  Returns the simulated time
+        consumed, or 0.0 when there is nothing useful to do.
+        """
+        if (
+            len(self._log_blocks) >= max(1, self.log_blocks_target // 2)
+            and self.free_blocks() >= 2
+        ):
+            return self._merge_victim_log_block()
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Table 4)
+    # ------------------------------------------------------------------
+
+    def device_memory_bytes(self) -> int:
+        """Modeled device DRAM for the dense hybrid mapping."""
+        return self.data_map.memory_bytes() + self.log_map.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridFTL(groups={self.logical_groups}, "
+            f"log_target={self.log_blocks_target}, "
+            f"log_in_use={len(self._log_blocks)}, free={self.free_blocks()})"
+        )

@@ -1,0 +1,225 @@
+"""Page-mapped FTL (DFTL-style) — the other end of the mapping spectrum.
+
+The paper's hybrid FTL trades mapping memory for merge cost; a fully
+page-mapped FTL (Gupta et al.'s DFTL, the paper's citation [16]) does
+the opposite: every 4 KB page is mapped individually, so writes never
+need merges — garbage collection just copies a victim block's live
+pages to the append point (greedy cost-benefit).  The price is the
+page table: one entry per logical page, the memory cost that motivates
+both the hybrid layout and the SSC's sparse hash map (§4.1, Table 4).
+
+This FTL plugs into :class:`~repro.ftl.ssd.SSD` as an alternative
+baseline and powers the mapping-granularity ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.errors import ConfigError, InvalidAddressError
+from repro.flash.block import BlockKind, EraseBlock
+from repro.flash.chip import FlashChip
+from repro.flash.page import OOBData
+from repro.ftl.base import FTLStats
+from repro.ftl.mapping import DensePageMap
+from repro.ftl.wear import WearConfig, WearLeveler
+
+
+@dataclass(frozen=True)
+class PageMapFTLConfig:
+    """Tunables for the page-mapped FTL.
+
+    ``overprovision`` reserves raw blocks for garbage collection (the
+    same 7 % the paper gives the hybrid SSD); ``gc_threshold`` is the
+    free-block floor that triggers collection.
+    """
+
+    overprovision: float = 0.07
+    gc_threshold: int = 4
+    wear: WearConfig = WearConfig()
+
+    def __post_init__(self):
+        if not 0.0 < self.overprovision < 0.5:
+            raise ConfigError("overprovision must be in (0, 0.5)")
+        if self.gc_threshold < 2:
+            raise ConfigError("gc_threshold must be >= 2")
+
+
+class PageMapFTL:
+    """Fully page-mapped FTL with greedy garbage collection."""
+
+    def __init__(self, chip: FlashChip, config: Optional[PageMapFTLConfig] = None):
+        self.chip = chip
+        self.config = config or PageMapFTLConfig()
+        self.stats = FTLStats()
+        self.wear = WearLeveler(chip, self.config.wear)
+
+        total = chip.geometry.total_blocks
+        reserved = max(self.config.gc_threshold, int(total * self.config.overprovision))
+        logical_blocks = total - reserved
+        if logical_blocks <= 0:
+            raise ConfigError("chip too small after over-provisioning")
+        self.pages_per_block = chip.geometry.pages_per_block
+        self.logical_pages = logical_blocks * self.pages_per_block
+        self.page_map = DensePageMap(self.logical_pages)
+        self._active: Optional[EraseBlock] = None
+
+    # ------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise InvalidAddressError(
+                f"lpn {lpn} out of range [0, {self.logical_pages})"
+            )
+
+    def free_blocks(self) -> int:
+        return self.chip.free_blocks_total()
+
+    def read(self, lpn: int) -> Tuple[Any, float]:
+        """Read ``lpn``; unwritten pages return None at control cost."""
+        self._check_lpn(lpn)
+        self.stats.user_reads += 1
+        ppn = self.page_map.lookup(lpn)
+        if ppn is None:
+            return None, self.chip.timing.control_delay_us
+        data, _oob, cost = self.chip.read_page(ppn)
+        return data, cost
+
+    def write(self, lpn: int, data: Any, dirty: bool = False) -> float:
+        """Write ``lpn`` out-of-place at the append point."""
+        self._check_lpn(lpn)
+        cost = self._invalidate(lpn)
+        block, gc_cost = self._append_slot()
+        cost += gc_cost
+        ppn = self.chip.geometry.make_ppn(block.pbn, block.write_pointer)
+        oob = OOBData(lbn=lpn, dirty=dirty, seq=self.chip.next_seq())
+        cost += self.chip.program_page(ppn, data, oob)
+        self.page_map.insert(lpn, ppn)
+        self.stats.user_writes += 1
+        return cost
+
+    def trim(self, lpn: int) -> float:
+        self._check_lpn(lpn)
+        return self._invalidate(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self.page_map
+
+    def set_page_dirty(self, lpn: int, dirty: bool) -> None:
+        ppn = self.page_map.lookup(lpn)
+        if ppn is None:
+            return
+        block = self.chip.block(self.chip.geometry.ppn_to_pbn(ppn))
+        offset = self.chip.geometry.ppn_to_offset(ppn)
+        if dirty:
+            block.mark_dirty(offset)
+        else:
+            block.mark_clean(offset)
+
+    # ------------------------------------------------------------------
+
+    def _invalidate(self, lpn: int) -> float:
+        ppn = self.page_map.remove(lpn)
+        if ppn is not None:
+            pbn = self.chip.geometry.ppn_to_pbn(ppn)
+            self.chip.block(pbn).invalidate(self.chip.geometry.ppn_to_offset(ppn))
+        return 0.0
+
+    def _append_slot(self) -> Tuple[EraseBlock, float]:
+        cost = 0.0
+        if self._active is None or self._active.is_full:
+            cost += self._ensure_free()
+            # GC may already have opened (and partially filled) a fresh
+            # append block; abandoning it would leak partial blocks.
+            if self._active is None or self._active.is_full:
+                plane = max(self.chip.planes, key=lambda plane: plane.free_count)
+                self._active = self.wear.pick_block(plane, BlockKind.DATA)
+        return self._active, cost
+
+    def _ensure_free(self) -> float:
+        """Greedy GC: recycle the most-invalid blocks until above floor."""
+        cost = 0.0
+        guard = 0
+        while self.free_blocks() <= self.config.gc_threshold:
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            cost += self._collect(victim)
+            guard += 1
+            if guard > self.chip.geometry.total_blocks:  # pragma: no cover
+                raise ConfigError("page-map GC cannot make progress")
+        return cost
+
+    def _pick_victim(self) -> Optional[EraseBlock]:
+        """Most-invalid full block, or None.
+
+        Fully-valid blocks are never victims: collecting one consumes
+        exactly as much space as it frees (a livelock, not cleaning).
+        Whenever free blocks are at the GC floor, the capacity reserve
+        guarantees some full block holds invalid pages.
+        """
+        candidates = [
+            block
+            for plane in self.chip.planes
+            for block in plane.blocks.values()
+            if block.kind is BlockKind.DATA
+            and block is not self._active
+            and block.is_full
+            and block.valid_count < block.num_pages
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda block: (block.valid_count, block.pbn))
+
+    def _collect(self, victim: EraseBlock) -> float:
+        """Copy the victim's live pages forward, then erase it."""
+        cost = 0.0
+        base_ppn = victim.pbn * self.pages_per_block
+        for offset in victim.valid_offsets():
+            src_ppn = base_ppn + offset
+            data, oob, read_cost = self.chip.read_page(src_ppn)
+            cost += read_cost
+            self.stats.gc_page_reads += 1
+            block, gc_cost = self._append_slot_for_gc()
+            cost += gc_cost
+            dst_ppn = self.chip.geometry.make_ppn(block.pbn, block.write_pointer)
+            cost += self.chip.program_page(
+                dst_ppn,
+                data,
+                OOBData(lbn=oob.lbn, dirty=oob.dirty, seq=self.chip.next_seq()),
+            )
+            self.stats.gc_page_writes += 1
+            victim.invalidate(offset)
+            self.page_map.insert(oob.lbn, dst_ppn)
+        cost += self.chip.erase_block(victim.pbn)
+        return cost
+
+    def _append_slot_for_gc(self) -> Tuple[EraseBlock, float]:
+        # GC appends must not recurse into GC; the reserved pool
+        # guarantees a free block exists while collecting.
+        if self._active is None or self._active.is_full:
+            plane = max(self.chip.planes, key=lambda plane: plane.free_count)
+            self._active = self.wear.pick_block(plane, BlockKind.DATA)
+        return self._active, 0.0
+
+    def background_step(self) -> float:
+        """One idle-time GC increment: compact the most-invalid block."""
+        if self.free_blocks() > 2 * self.config.gc_threshold:
+            return 0.0
+        victim = self._pick_victim()
+        if victim is None:
+            return 0.0
+        return self._collect(victim)
+
+    # ------------------------------------------------------------------
+
+    def device_memory_bytes(self) -> int:
+        """The full dense page table — the cost DFTL-style FTLs pay."""
+        return self.page_map.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"PageMapFTL(logical_pages={self.logical_pages}, "
+            f"free={self.free_blocks()})"
+        )

@@ -1,0 +1,31 @@
+"""Cache managers: the OS block-layer software above the cache device.
+
+Three managers mirror the paper's evaluation systems:
+
+* :class:`NativeCacheManager` — the baseline, modeled on Facebook's
+  FlashCache: caches on a conventional SSD, keeps its own host-side
+  mapping table (disk LBN -> SSD block), and persists per-block metadata
+  to the SSD so a write-back cache can survive crashes.
+* :class:`FlashTierWTManager` — FlashTier write-through on an SSC: no
+  host-side state at all; every read consults the SSC.
+* :class:`FlashTierWBManager` — FlashTier write-back on an SSC: keeps
+  only a dirty-block table, cleans LRU dirty blocks past a threshold,
+  and recovers its table with ``exists``.
+"""
+
+from repro.manager.base import CacheManager, ManagerStats
+from repro.manager.dirty_table import DirtyBlockTable
+from repro.manager.native import NativeCacheManager, NativeConfig
+from repro.manager.writethrough import FlashTierWTManager
+from repro.manager.writeback import FlashTierWBManager, WriteBackConfig
+
+__all__ = [
+    "CacheManager",
+    "ManagerStats",
+    "DirtyBlockTable",
+    "NativeCacheManager",
+    "NativeConfig",
+    "FlashTierWTManager",
+    "FlashTierWBManager",
+    "WriteBackConfig",
+]

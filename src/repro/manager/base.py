@@ -1,0 +1,54 @@
+"""Cache-manager interface and shared statistics."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass
+class ManagerStats:
+    """Hit/miss accounting at the cache-manager level."""
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    writebacks: int = 0       # dirty blocks written back to disk
+    cleans: int = 0           # clean commands issued (FlashTier WB)
+    evictions: int = 0        # manager-initiated evictions
+    metadata_writes: int = 0  # persisted metadata updates (native WB)
+
+    def miss_rate(self) -> float:
+        """Read miss rate in percent."""
+        lookups = self.read_hits + self.read_misses
+        return 100.0 * self.read_misses / lookups if lookups else 0.0
+
+
+class CacheManager(ABC):
+    """A block-layer cache manager over a cache device and a disk.
+
+    ``read``/``write`` return the simulated service latency in
+    microseconds; data integrity is the manager's responsibility (a read
+    must always return the newest written data, wherever it lives).
+    """
+
+    def __init__(self):
+        self.stats = ManagerStats()
+
+    @abstractmethod
+    def read(self, lbn: int) -> Tuple[Any, float]:
+        """Read disk block ``lbn``; returns (data, latency_us)."""
+
+    @abstractmethod
+    def write(self, lbn: int, data: Any) -> float:
+        """Write disk block ``lbn``; returns latency_us."""
+
+    @abstractmethod
+    def host_memory_bytes(self) -> int:
+        """Modeled host DRAM the manager needs for per-block state."""
+
+    def flush_dirty(self) -> float:
+        """Write every dirty cached block back to disk (clean shutdown)."""
+        return 0.0

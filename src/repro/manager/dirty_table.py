@@ -1,0 +1,98 @@
+"""The write-back manager's dirty-block table.
+
+Paper §4.4: "The dirty-block table is stored as a linear hash table
+containing metadata about each dirty block.  The metadata consists of an
+8-byte associated disk block number, an optional 8-byte checksum, two
+2-byte indexes to the previous and next blocks in the LRU cache
+replacement list, and a 2-byte block state, for a total of 14-22 bytes."
+
+FlashTier's write-back manager tracks *only dirty* blocks here (clean
+blocks need no host state at all), which is where the 89 % host-memory
+reduction over the native manager comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.util.checksum import crc32_of
+from repro.util.lru import LRUList
+
+#: Modeled bytes per entry (the paper's upper figure, with checksum).
+ENTRY_BYTES = 22
+
+
+class DirtyBlockTable:
+    """Host-side table of dirty cached blocks with LRU ordering."""
+
+    def __init__(self, with_checksums: bool = True):
+        self.with_checksums = with_checksums
+        self._entries: Dict[int, int] = {}  # lbn -> checksum (or 0)
+        self._lru = LRUList()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lbn: int) -> bool:
+        return lbn in self._entries
+
+    def add(self, lbn: int, data=None) -> None:
+        """Record ``lbn`` as dirty (most recently used)."""
+        self._entries[lbn] = crc32_of(repr(data)) if self.with_checksums else 0
+        self._lru.touch(lbn)
+
+    def checksum_matches(self, lbn: int, data) -> bool:
+        """Verify ``data`` against the checksum recorded at write time.
+
+        Always True when checksums are disabled or the block untracked.
+        """
+        if not self.with_checksums or lbn not in self._entries:
+            return True
+        return self._entries[lbn] == crc32_of(repr(data))
+
+    def touch(self, lbn: int) -> None:
+        """Refresh LRU position of ``lbn`` if tracked."""
+        if lbn in self._entries:
+            self._lru.touch(lbn)
+
+    def remove(self, lbn: int) -> bool:
+        """Drop ``lbn`` (after cleaning it); True if it was tracked."""
+        if self._entries.pop(lbn, None) is None:
+            return False
+        self._lru.remove(lbn)
+        return True
+
+    def lru_block(self) -> Optional[int]:
+        """Least-recently-used dirty block, or None."""
+        return self._lru.lru()
+
+    def contiguous_run(self, lbn: int, limit: int = 32) -> List[int]:
+        """Dirty blocks forming a contiguous run around ``lbn``.
+
+        The write-back manager "prioritizes cleaning of contiguous dirty
+        blocks, which can be merged together for writing to disk"
+        (§4.4): returning the whole run lets the caller issue one
+        sequential disk write.
+        """
+        run = [lbn]
+        left = lbn - 1
+        while left in self._entries and len(run) < limit:
+            run.insert(0, left)
+            left -= 1
+        right = lbn + 1
+        while right in self._entries and len(run) < limit:
+            run.append(right)
+            right += 1
+        return run
+
+    def iter_lru(self) -> Iterator[int]:
+        """Dirty blocks from least to most recently used."""
+        return self._lru.iter_lru_to_mru()
+
+    def memory_bytes(self) -> int:
+        """Modeled host memory (22 bytes per dirty block)."""
+        return len(self._entries) * ENTRY_BYTES
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._lru.clear()

@@ -1,0 +1,304 @@
+"""The native baseline: a FlashCache-style manager on a plain SSD.
+
+This is the system FlashTier is measured against (§5, §6.1): the
+unmodified-architecture cache manager caching on a conventional SSD.
+Because the SSD exposes its own dense address space, the manager must:
+
+* keep a host-side mapping table from disk LBN to SSD block — 22 bytes
+  per cached block (disk block number, checksum, LRU indexes, state);
+* run its own set-associative replacement to allocate SSD blocks;
+* persist its metadata to the SSD so a write-back cache survives
+  crashes (Native-D in Fig. 4): every dirty-state or mapping change for
+  dirty blocks is written synchronously to a metadata journal region on
+  the SSD, while metadata for clean blocks added on misses is batched
+  ("the native system does not incur any synchronous metadata updates
+  when adding clean pages from a miss and batches sequential metadata
+  updates").
+
+In write-through mode the native manager provides no durability (the
+paper notes it "cannot" recover after a crash) and writes no metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.disk.model import Disk
+from repro.errors import ConfigError
+from repro.ftl.ssd import SSD
+from repro.manager.base import CacheManager
+from repro.manager.dirty_table import DirtyBlockTable
+from repro.util.lru import LRUList
+
+#: Host bytes per cached block (paper §6.3: "22 bytes/block for a disk
+#: block number, checksum, LRU indexes and block state").
+HOST_ENTRY_BYTES = 22
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    value = (value ^ (value >> 33)) * 0xFF51AFD7ED558CCD & _MASK
+    value = (value ^ (value >> 33)) * 0xC4CEB9FE1A85EC53 & _MASK
+    return value ^ (value >> 33)
+
+
+@dataclass(frozen=True)
+class NativeConfig:
+    """Native manager tunables."""
+
+    mode: str = "wb"               # "wb" (write-back) or "wt" (write-through)
+    set_size: int = 64             # SSD blocks per associativity set
+    dirty_threshold: float = 0.20  # clean LRU dirty blocks above this
+    consistency: bool = True       # persist metadata (write-back only)
+    clean_meta_batch: int = 32     # clean-insert metadata updates per flush
+    meta_fraction: float = 0.02    # share of SSD logical space for metadata
+
+    def __post_init__(self):
+        if self.mode not in ("wb", "wt"):
+            raise ConfigError("mode must be 'wb' or 'wt'")
+        if self.set_size < 1:
+            raise ConfigError("set_size must be >= 1")
+        if not 0.0 < self.dirty_threshold <= 1.0:
+            raise ConfigError("dirty_threshold must be in (0, 1]")
+        if self.clean_meta_batch < 1:
+            raise ConfigError("clean_meta_batch must be >= 1")
+        if not 0.0 < self.meta_fraction < 0.5:
+            raise ConfigError("meta_fraction must be in (0, 0.5)")
+
+
+class NativeCacheManager(CacheManager):
+    """Set-associative SSD cache manager (the FlashCache baseline)."""
+
+    def __init__(self, ssd: SSD, disk: Disk, config: Optional[NativeConfig] = None):
+        super().__init__()
+        self.ssd = ssd
+        self.disk = disk
+        self.config = config or NativeConfig()
+
+        meta_pages = max(4, int(ssd.capacity_pages * self.config.meta_fraction))
+        meta_pages = min(meta_pages, max(1, ssd.capacity_pages // 4))
+        self.data_pages = ssd.capacity_pages - meta_pages
+        if self.data_pages < 1:
+            raise ConfigError("SSD too small to hold any cached data")
+        # Small devices get one set covering everything rather than an
+        # error; set_size is an upper bound on associativity.
+        self._set_size = min(self.config.set_size, self.data_pages)
+        self.num_sets = max(1, self.data_pages // self._set_size)
+        self._meta_base = self.data_pages
+        self._meta_pages = meta_pages
+        self._meta_cursor = 0
+        self._pending_clean_meta = 0
+        # Sequential-update coalescing (§6.4: the native system "batches
+        # sequential metadata updates"): a run of adjacent blocks shares
+        # one metadata page write.
+        self._last_sync_meta_lbn: Optional[int] = None
+        self._sync_meta_batch = 0
+        self._entries_per_meta_page = max(
+            1, ssd.chip.geometry.page_size // HOST_ENTRY_BYTES
+        )
+
+        # Host-side state: the full mapping table plus per-set LRU.
+        self._map: Dict[int, int] = {}        # disk lbn -> ssd slot
+        self._slot_lbn: Dict[int, int] = {}   # ssd slot -> disk lbn
+        self._set_lru: List[LRUList] = [LRUList() for _ in range(self.num_sets)]
+        self._free_slots: List[List[int]] = [[] for _ in range(self.num_sets)]
+        for slot in range(self.data_pages):
+            self._free_slots[self._set_of_slot(slot)].append(slot)
+        self._dirty = DirtyBlockTable(with_checksums=False)
+
+    # ------------------------------------------------------------------
+    # Set geometry
+    # ------------------------------------------------------------------
+
+    def _set_of_slot(self, slot: int) -> int:
+        return slot // self._set_size % self.num_sets
+
+    def _set_of_lbn(self, lbn: int) -> int:
+        return _mix(lbn) % self.num_sets
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def read(self, lbn: int) -> Tuple[Any, float]:
+        self.stats.reads += 1
+        slot = self._map.get(lbn)
+        if slot is not None:
+            self.stats.read_hits += 1
+            data, cost = self.ssd.read(slot)
+            self._set_lru[self._set_of_lbn(lbn)].touch(lbn)
+            self._dirty.touch(lbn)
+            return data, cost
+        self.stats.read_misses += 1
+        data, cost = self.disk.read(lbn)
+        cost += self._insert(lbn, data, dirty=False)
+        return data, cost
+
+    def write(self, lbn: int, data: Any) -> float:
+        self.stats.writes += 1
+        if self.config.mode == "wt":
+            cost = self.disk.write(lbn, data)
+            cost += self._insert(lbn, data, dirty=False)
+            return cost
+        cost = self._insert(lbn, data, dirty=True)
+        cost += self._enforce_dirty_threshold()
+        return cost
+
+    def flush_dirty(self) -> float:
+        """Write back every dirty block (clean shutdown)."""
+        cost = 0.0
+        for lbn in list(self._dirty.iter_lru()):
+            cost += self._clean_block(lbn)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Insertion / replacement
+    # ------------------------------------------------------------------
+
+    def _insert(self, lbn: int, data: Any, dirty: bool) -> float:
+        cost = 0.0
+        set_index = self._set_of_lbn(lbn)
+        slot = self._map.get(lbn)
+        if slot is None:
+            slot, cost = self._allocate_slot(set_index)
+            self._map[lbn] = slot
+            self._slot_lbn[slot] = lbn
+            cost += self._meta_update(sync=dirty, lbn=lbn)
+        else:
+            was_dirty = lbn in self._dirty
+            if was_dirty != dirty:
+                cost += self._meta_update(sync=dirty, lbn=lbn)
+        cost += self.ssd.write(slot, data, dirty=dirty)
+        self._set_lru[set_index].touch(lbn)
+        if dirty:
+            self._dirty.add(lbn)
+        else:
+            self._dirty.remove(lbn)
+        return cost
+
+    def _allocate_slot(self, set_index: int) -> Tuple[int, float]:
+        free = self._free_slots[set_index]
+        if free:
+            return free.pop(), 0.0
+        victim = self._set_lru[set_index].pop_lru()
+        if victim is None:
+            raise ConfigError("associativity set has neither free slots nor victims")
+        return self._evict(victim)
+
+    def _evict(self, victim_lbn: int) -> Tuple[int, float]:
+        """Evict ``victim_lbn``; returns (freed slot, cost).
+
+        Evicting a dirty block persists the state change synchronously;
+        a clean victim costs only a batched update — Native-D "only
+        saves metadata for dirty blocks at runtime" (§6.4).
+        """
+        cost = 0.0
+        slot = self._map.pop(victim_lbn)
+        del self._slot_lbn[slot]
+        was_dirty = self._dirty.remove(victim_lbn)
+        if was_dirty:
+            data, read_cost = self.ssd.read(slot)
+            cost += read_cost
+            cost += self.disk.write(victim_lbn, data)
+            self.stats.writebacks += 1
+        cost += self.ssd.trim(slot)
+        cost += self._meta_update(sync=was_dirty, lbn=victim_lbn)
+        self.stats.evictions += 1
+        return slot, cost
+
+    # ------------------------------------------------------------------
+    # Dirty-block cleaning (write-back)
+    # ------------------------------------------------------------------
+
+    def _enforce_dirty_threshold(self) -> float:
+        limit = int(self.config.dirty_threshold * self.data_pages)
+        cost = 0.0
+        while len(self._dirty) > limit:
+            lbn = self._dirty.lru_block()
+            if lbn is None:
+                break
+            for run_lbn in self._dirty.contiguous_run(lbn):
+                cost += self._clean_block(run_lbn)
+        return cost
+
+    def _clean_block(self, lbn: int) -> float:
+        """Write ``lbn`` back to disk and mark its SSD copy clean."""
+        slot = self._map.get(lbn)
+        if slot is None or not self._dirty.remove(lbn):
+            return 0.0
+        data, cost = self.ssd.read(slot)
+        cost += self.disk.write(lbn, data)
+        self.ssd.set_page_dirty(slot, False)
+        cost += self._meta_update(sync=True, lbn=lbn)
+        self.stats.writebacks += 1
+        return cost
+
+    # ------------------------------------------------------------------
+    # Metadata persistence
+    # ------------------------------------------------------------------
+
+    def _meta_update(self, sync: bool, lbn: Optional[int] = None) -> float:
+        """Persist a metadata change to the SSD journal region.
+
+        Synchronous updates (anything involving dirty state) cost a page
+        write immediately — except that a run of *sequential* blocks
+        coalesces into one metadata page (§6.4: the native system
+        "batches sequential metadata updates").  Clean-insert updates
+        batch ``clean_meta_batch`` entries per page.  Write-through mode
+        and no-consistency configurations skip persistence entirely.
+        """
+        if self.config.mode == "wt" or not self.config.consistency:
+            return 0.0
+        if not sync:
+            self._pending_clean_meta += 1
+            if self._pending_clean_meta < self.config.clean_meta_batch:
+                return 0.0
+            self._pending_clean_meta = 0
+        elif (
+            lbn is not None
+            and self._last_sync_meta_lbn is not None
+            and lbn == self._last_sync_meta_lbn + 1
+            and self._sync_meta_batch < self._entries_per_meta_page
+        ):
+            # Continues a sequential run: its entry lands in the
+            # metadata page the run already paid for.
+            self._last_sync_meta_lbn = lbn
+            self._sync_meta_batch += 1
+            return 0.0
+        if sync:
+            self._last_sync_meta_lbn = lbn
+            self._sync_meta_batch = 1
+        self.stats.metadata_writes += 1
+        lpn = self._meta_base + self._meta_cursor
+        self._meta_cursor = (self._meta_cursor + 1) % self._meta_pages
+        return self.ssd.write(lpn, ("meta", self.stats.metadata_writes))
+
+    # ------------------------------------------------------------------
+    # Memory and recovery accounting
+    # ------------------------------------------------------------------
+
+    def cached_blocks(self) -> int:
+        return len(self._map)
+
+    def dirty_blocks(self) -> int:
+        return len(self._dirty)
+
+    def host_memory_bytes(self) -> int:
+        """22 bytes for every cached block, clean or dirty (§6.3)."""
+        return len(self._map) * HOST_ENTRY_BYTES
+
+    def recover_manager_us(self) -> float:
+        """Time to reload the manager's metadata from the SSD (Fig. 5
+        "Native-FC"): a sequential read of the journal region sized by
+        the mapping table."""
+        table_bytes = self.host_memory_bytes()
+        page_size = self.ssd.chip.geometry.page_size
+        pages = -(-table_bytes // page_size)  # ceil
+        return pages * self.ssd.chip.timing.read_cost()
+
+    def recover_device_us(self) -> float:
+        """Time for the SSD itself to rebuild its mapping via an OOB
+        scan (Fig. 5 "Native-SSD")."""
+        return self.ssd.oob_recovery_scan_us()

@@ -1,0 +1,6 @@
+"""Simulation kernel: simulated time and crash injection."""
+
+from repro.sim.clock import SimClock
+from repro.sim.crash import CrashPoint, CrashInjector
+
+__all__ = ["SimClock", "CrashPoint", "CrashInjector"]

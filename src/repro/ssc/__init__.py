@@ -1,0 +1,34 @@
+"""The solid-state cache (SSC) — the paper's primary contribution.
+
+An SSC is a flash device whose interface is designed for caching rather
+than storage (paper §4):
+
+* a **unified, sparse address space**: the host writes at *disk* logical
+  block numbers and a sparse hash map translates them to flash pages;
+* a six-operation **consistent cache interface**: ``write-dirty``,
+  ``write-clean``, ``read``, ``evict``, ``clean``, ``exists``;
+* **silent eviction**: garbage collection may drop clean cached blocks
+  instead of copying them (policies SE-Util and SE-Merge);
+* **durability machinery**: an operation log with group commit, periodic
+  checkpoints, and roll-forward recovery, so cache contents survive a
+  crash.
+"""
+
+from repro.ssc.sparse_map import SparseHashMap
+from repro.ssc.log import LogRecord, OperationLog, RecordKind
+from repro.ssc.checkpoint import Checkpoint, CheckpointStore
+from repro.ssc.engine import CacheFTL, EvictionPolicy
+from repro.ssc.device import SolidStateCache, SSCConfig
+
+__all__ = [
+    "SparseHashMap",
+    "LogRecord",
+    "OperationLog",
+    "RecordKind",
+    "Checkpoint",
+    "CheckpointStore",
+    "CacheFTL",
+    "EvictionPolicy",
+    "SolidStateCache",
+    "SSCConfig",
+]

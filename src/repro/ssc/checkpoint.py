@@ -1,0 +1,111 @@
+"""SSC mapping checkpoints.
+
+Paper §4.2.2: "SSCs checkpoint the mapping data structure periodically
+so that the log size is less than a fixed fraction of the size of the
+checkpoint...  It only checkpoints the forward mappings because of the
+high degree of sparseness in the logical address space.  FlashTier
+maintains two checkpoints on dedicated regions spread across different
+planes of the SSC that bypass address translation."
+
+A checkpoint is a snapshot of the forward maps: page-level entries
+(lbn, ppn, dirty) and block-level entries (group, pbn, dirty-bitmap).
+The store keeps two slots and alternates between them, so a crash during
+checkpointing always leaves one intact checkpoint (the previous one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.flash.timing import TimingModel
+from repro.util.checksum import crc32_of_pairs
+
+#: Serialized entry sizes: page entries carry lbn + ppn + flags; block
+#: entries additionally carry the 8-byte dirty-page bitmap (§4.1) and an
+#: 8-byte valid-page bitmap (recovery must know which pages of a
+#: block-mapped group were stale at checkpoint time, or a read after
+#: recovery could return stale data).
+PAGE_ENTRY_BYTES = 17
+BLOCK_ENTRY_BYTES = 33
+HEADER_BYTES = 32
+
+
+@dataclass
+class Checkpoint:
+    """One immutable snapshot of the forward mappings."""
+
+    seq: int                                        # covers log records <= seq
+    page_entries: List[Tuple[int, int, bool]]       # (lbn, ppn, dirty)
+    block_entries: List[Tuple[int, int, int, int]]  # (group, pbn, dirty_bm, valid_bm)
+    checksum: int = 0
+
+    def __post_init__(self):
+        if not self.checksum:
+            self.checksum = self.compute_checksum()
+
+    def compute_checksum(self) -> int:
+        pairs = [(lbn, ppn) for lbn, ppn, _ in self.page_entries]
+        pairs += [
+            (group ^ dirty_bm, pbn ^ valid_bm)
+            for group, pbn, dirty_bm, valid_bm in self.block_entries
+        ]
+        pairs.append((self.seq, len(pairs)))
+        return crc32_of_pairs(pairs)
+
+    def is_intact(self) -> bool:
+        """True if the checksum matches (detects torn checkpoint writes)."""
+        return self.checksum == self.compute_checksum()
+
+    def size_bytes(self) -> int:
+        """Serialized footprint on flash."""
+        return (
+            HEADER_BYTES
+            + len(self.page_entries) * PAGE_ENTRY_BYTES
+            + len(self.block_entries) * BLOCK_ENTRY_BYTES
+        )
+
+
+class CheckpointStore:
+    """Two alternating checkpoint slots on dedicated flash regions."""
+
+    def __init__(self, timing: TimingModel, page_size: int = 4096,
+                 pages_per_block: int = 64):
+        self.timing = timing
+        self.page_size = page_size
+        self.pages_per_block = pages_per_block
+        self._slots: List[Optional[Checkpoint]] = [None, None]
+        self._active = 0
+        self.writes = 0
+        self.pages_written = 0
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent intact checkpoint, or None."""
+        candidates = [
+            checkpoint
+            for checkpoint in self._slots
+            if checkpoint is not None and checkpoint.is_intact()
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda checkpoint: checkpoint.seq)
+
+    def write(self, checkpoint: Checkpoint) -> float:
+        """Persist ``checkpoint`` into the non-active slot; returns cost.
+
+        The cost covers erasing the slot's region and programming the
+        serialized mapping.
+        """
+        slot = 1 - self._active
+        self._slots[slot] = checkpoint
+        self._active = slot
+        pages = -(-checkpoint.size_bytes() // self.page_size)  # ceil
+        blocks = -(-pages // self.pages_per_block)
+        self.writes += 1
+        self.pages_written += pages
+        return pages * self.timing.write_cost() + blocks * self.timing.erase_cost()
+
+    def read_cost(self, checkpoint: Checkpoint) -> float:
+        """Flash read cost of loading ``checkpoint`` at recovery."""
+        pages = -(-checkpoint.size_bytes() // self.page_size)
+        return pages * self.timing.read_cost()

@@ -1,0 +1,442 @@
+"""The solid-state cache device: the paper's six-operation interface.
+
+    write-dirty  Insert new block or update existing block with dirty data.
+    write-clean  Insert new block or update existing block with clean data.
+    read         Read block if present or return error.
+    evict        Evict block immediately.
+    clean        Allow future eviction of block.
+    exists       Test for presence of dirty blocks.
+
+Durability contract (paper §4.2.1/§5 and the three guarantees of §3.5):
+
+* ``write-dirty`` and ``evict`` are synchronous: their mapping changes
+  are durable before the call returns.
+* ``write-clean`` may be buffered; if power fails first, the effect is
+  as if the block had been silently evicted.  If the write *replaces*
+  existing data at the same address, the mapping change is made durable
+  before completion so a read can never return the stale version.
+* ``clean`` is asynchronous; after a crash, cleaned blocks may revert
+  to dirty.
+* Any operation whose garbage collection erased a block flushes the log
+  before returning, so durable state never references erased flash.
+
+Every operation returns its service time in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigError, NotPresentError, RecoveryError
+from repro.flash.chip import FlashChip
+from repro.flash.page import PageState
+from repro.ftl.wear import WearConfig
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import TimingModel
+from repro.ssc import recovery as recovery_mod
+from repro.ssc.checkpoint import Checkpoint, CheckpointStore
+from repro.ssc.engine import CacheFTL, CacheFTLConfig, EvictionPolicy
+from repro.ssc.log import (
+    NullOperationLog,
+    NvramOperationLog,
+    OperationLog,
+    RecordKind,
+)
+
+
+@dataclass(frozen=True)
+class SSCConfig:
+    """Device configuration.
+
+    ``clean_durability`` selects the write-clean contract:
+
+    * ``"replace-sync"`` (default, §4.2.1): buffered unless the write
+      replaces existing data.
+    * ``"sync"``: always synchronous (the FlashTier-C/D line of Fig. 4).
+    * ``"buffered"``: always buffered (the FlashTier-D line of Fig. 4).
+
+    ``consistency=False`` disables logging and checkpointing entirely
+    (the no-consistency baseline of Fig. 4 and the configuration used
+    for the garbage-collection experiments of Fig. 6 / Table 5).
+    """
+
+    policy: EvictionPolicy = EvictionPolicy.UTIL
+    consistency: bool = True
+    clean_durability: str = "replace-sync"
+    group_commit_ops: int = 10_000
+    checkpoint_log_ratio: float = 2.0 / 3.0
+    checkpoint_interval_writes: int = 1_000_000
+    log_fraction: float = 0.07
+    max_log_fraction: float = 0.20
+    spare_blocks: int = 8
+    sequential_log: bool = True
+    evict_batch: int = 4
+    wear: WearConfig = WearConfig()
+    nvram: bool = False
+
+    def __post_init__(self):
+        if self.clean_durability not in ("replace-sync", "sync", "buffered"):
+            raise ConfigError(
+                "clean_durability must be replace-sync, sync or buffered"
+            )
+        if self.group_commit_ops < 1:
+            raise ConfigError("group_commit_ops must be >= 1")
+        if not 0.0 < self.checkpoint_log_ratio <= 10.0:
+            raise ConfigError("checkpoint_log_ratio must be in (0, 10]")
+        if self.checkpoint_interval_writes < 1:
+            raise ConfigError("checkpoint_interval_writes must be >= 1")
+
+    def engine_config(self) -> CacheFTLConfig:
+        return CacheFTLConfig(
+            policy=self.policy,
+            log_fraction=self.log_fraction,
+            max_log_fraction=self.max_log_fraction,
+            spare_blocks=self.spare_blocks,
+            sequential_log=self.sequential_log,
+            evict_batch=self.evict_batch,
+            wear=self.wear,
+        )
+
+
+class SolidStateCache:
+    """A flash cache device exposing the SSC interface."""
+
+    def __init__(
+        self,
+        geometry: Optional[FlashGeometry] = None,
+        timing: Optional[TimingModel] = None,
+        config: Optional[SSCConfig] = None,
+    ):
+        self.config = config or SSCConfig()
+        self.chip = FlashChip(geometry, timing)
+        geometry = self.chip.geometry
+        if not self.config.consistency:
+            log_cls = NullOperationLog
+        elif self.config.nvram:
+            log_cls = NvramOperationLog
+        else:
+            log_cls = OperationLog
+        self.oplog = log_cls(
+            self.chip.timing, geometry.page_size, geometry.pages_per_block
+        )
+        self.engine = CacheFTL(self.chip, self.oplog, self.config.engine_config())
+        self.checkpoints = CheckpointStore(
+            self.chip.timing, geometry.page_size, geometry.pages_per_block
+        )
+        self._writes_since_checkpoint = 0
+        self._crashed = False
+
+    @classmethod
+    def ssc(cls, geometry: Optional[FlashGeometry] = None, **overrides) -> "SolidStateCache":
+        """The paper's *SSC* configuration: SE-Util, fixed 7 % log pool."""
+        return cls(geometry, config=SSCConfig(policy=EvictionPolicy.UTIL, **overrides))
+
+    @classmethod
+    def ssc_r(cls, geometry: Optional[FlashGeometry] = None, **overrides) -> "SolidStateCache":
+        """The paper's *SSC-R*: SE-Merge, log pool growable to 20 %."""
+        return cls(geometry, config=SSCConfig(policy=EvictionPolicy.MERGE, **overrides))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def capacity_pages(self) -> int:
+        """Raw page capacity (an SSC does not promise a logical size)."""
+        return self.chip.geometry.total_pages
+
+    def cached_blocks(self) -> int:
+        return self.engine.cached_blocks()
+
+    def contains(self, lbn: int) -> bool:
+        """Presence test without device latency (host-side debugging)."""
+        return self.engine.current_location(lbn) is not None
+
+    def is_dirty(self, lbn: int) -> bool:
+        return self.engine.is_dirty(lbn)
+
+    def device_memory_bytes(self) -> int:
+        return self.engine.device_memory_bytes()
+
+    # ------------------------------------------------------------------
+    # The six-operation interface
+    # ------------------------------------------------------------------
+
+    def read(self, lbn: int) -> Tuple[Any, float]:
+        """Read ``lbn``; raises :class:`NotPresentError` if absent."""
+        self._check_alive()
+        location = self.engine.current_location(lbn)
+        if location is None:
+            raise NotPresentError(lbn)
+        self.engine.stats.user_reads += 1
+        _pbn, _offset, ppn = location
+        data, _oob, cost = self.chip.read_page(ppn)
+        return data, cost
+
+    def write_dirty(self, lbn: int, data: Any) -> float:
+        """Write ``lbn`` as dirty; durable (data + mapping) on return."""
+        self._check_alive()
+        return self._guarded_write(lbn, data, dirty=True, sync=True)
+
+    def write_clean(self, lbn: int, data: Any) -> float:
+        """Write ``lbn`` as clean; buffering per ``clean_durability``."""
+        self._check_alive()
+        mode = self.config.clean_durability
+        if mode == "sync":
+            sync = True
+        elif mode == "buffered":
+            sync = False
+        else:
+            sync = self.engine.current_location(lbn) is not None
+        return self._guarded_write(lbn, data, dirty=False, sync=sync)
+
+    def evict(self, lbn: int) -> float:
+        """Force ``lbn`` out of the cache; durable on return."""
+        self._check_alive()
+        erases_before = self.chip.stats.block_erases
+        cost = self.engine.trim(lbn)
+        return cost + self._finish_op(sync=True, erases_before=erases_before)
+
+    def clean(self, lbn: int) -> float:
+        """Mark ``lbn`` clean so the SSC may silently evict it later.
+
+        Asynchronous: after a crash the block may revert to dirty.
+        No-op if the block is absent.
+        """
+        self._check_alive()
+        if self.engine.set_clean(lbn):
+            self.oplog.append(RecordKind.CLEAN, lbn)
+        return self._finish_op(sync=False, erases_before=self.chip.stats.block_erases)
+
+    def exists(self, start_lbn: int, end_lbn: int) -> Tuple[List[int], float]:
+        """Return the dirty blocks within [start_lbn, end_lbn).
+
+        Served entirely from device memory (paper: "the operation does
+        not have to scan flash"), so it costs only the control delay.
+        """
+        self._check_alive()
+        dirty: List[int] = []
+        for lbn, ppn in self.engine.log_map.items():
+            if start_lbn <= lbn < end_lbn:
+                page = self.chip.page(ppn)
+                if page.oob is not None and page.oob.dirty:
+                    dirty.append(lbn)
+        pages_per_block = self.engine.pages_per_block
+        for group, pbn in self.engine.data_map.items():
+            base = group * pages_per_block
+            if base + pages_per_block <= start_lbn or base >= end_lbn:
+                continue
+            block = self.chip.block(pbn)
+            for offset, page in enumerate(block.pages):
+                lbn = base + offset
+                if not start_lbn <= lbn < end_lbn:
+                    continue
+                if (
+                    page.state is PageState.VALID
+                    and page.oob is not None
+                    and page.oob.dirty
+                ):
+                    dirty.append(lbn)
+        dirty.sort()
+        return dirty, self.chip.timing.control_delay_us
+
+    def exists_detailed(self, start_lbn: int, end_lbn: int) -> Tuple[
+        List[Tuple[int, bool, int]], float
+    ]:
+        """Per-block metadata for cached blocks in [start_lbn, end_lbn).
+
+        Returns (lbn, dirty, write_seq) triples — the extension §4.2.1
+        sketches: "it could be extended to return additional per-block
+        metadata, such as access time or frequency, to help manage
+        cache contents."  ``write_seq`` is the device's monotonic write
+        stamp, a proxy for age the manager can use for LRU decisions.
+        """
+        self._check_alive()
+        entries: List[Tuple[int, bool, int]] = []
+        for lbn in self.engine.iter_cached_lbns():
+            if not start_lbn <= lbn < end_lbn:
+                continue
+            location = self.engine.current_location(lbn)
+            if location is None:
+                continue
+            page = self.chip.page(location[2])
+            dirty = bool(page.oob is not None and page.oob.dirty)
+            seq = page.oob.seq if page.oob is not None else 0
+            entries.append((lbn, dirty, seq))
+        entries.sort()
+        return entries, self.chip.timing.control_delay_us
+
+    # ------------------------------------------------------------------
+    # Consistency plumbing
+    # ------------------------------------------------------------------
+
+    def _guarded_write(self, lbn: int, data: Any, dirty: bool, sync: bool) -> float:
+        erases_before = self.chip.stats.block_erases
+        cost = self.engine.write(lbn, data, dirty=dirty)
+        self._writes_since_checkpoint += 1
+        return cost + self._finish_op(sync=sync, erases_before=erases_before)
+
+    def _finish_op(self, sync: bool, erases_before: int) -> float:
+        """Apply the log-flush and checkpoint policy after an operation."""
+        if not self.oplog.enabled:
+            return 0.0
+        cost = 0.0
+        erased = self.chip.stats.block_erases > erases_before
+        if sync or erased:
+            cost += self.oplog.flush(sync=True)
+        elif self.oplog.pending() >= self.config.group_commit_ops:
+            cost += self.oplog.flush(sync=False)
+        cost += self._maybe_checkpoint()
+        if cost:
+            self.engine.stats.meta_page_writes = (
+                self.oplog.pages_written + self.checkpoints.pages_written
+            )
+        return cost
+
+    def _maybe_checkpoint(self) -> float:
+        """Checkpoint when the log outgrows the last checkpoint (§6.4:
+        "if the log size exceeds two-thirds of the checkpoint size or
+        after 1 million writes, whichever occurs earlier")."""
+        latest = self.checkpoints.latest()
+        base_bytes = latest.size_bytes() if latest is not None else self._snapshot_bytes()
+        due = (
+            self.oplog.flushed_bytes > self.config.checkpoint_log_ratio * base_bytes
+            or self._writes_since_checkpoint >= self.config.checkpoint_interval_writes
+        )
+        if not due:
+            return 0.0
+        return self.checkpoint_now()
+
+    def _snapshot_bytes(self) -> int:
+        from repro.ssc.checkpoint import (
+            BLOCK_ENTRY_BYTES,
+            HEADER_BYTES,
+            PAGE_ENTRY_BYTES,
+        )
+
+        return (
+            HEADER_BYTES
+            + len(self.engine.log_map) * PAGE_ENTRY_BYTES
+            + len(self.engine.data_map) * BLOCK_ENTRY_BYTES
+        )
+
+    def checkpoint_now(self) -> float:
+        """Write a checkpoint of the forward maps and truncate the log."""
+        if not self.oplog.enabled:
+            return 0.0
+        cost = self.oplog.flush(sync=True)
+        seq = self.oplog.last_flushed_seq
+        checkpoint = Checkpoint(
+            seq=seq,
+            page_entries=self._page_entries_snapshot(),
+            block_entries=self._block_entries_snapshot(),
+        )
+        cost += self.checkpoints.write(checkpoint)
+        cost += self.oplog.truncate_through(seq)
+        self._writes_since_checkpoint = 0
+        return cost
+
+    def _page_entries_snapshot(self) -> List[Tuple[int, int, bool]]:
+        entries = []
+        for lbn, ppn in self.engine.log_map.items():
+            page = self.chip.page(ppn)
+            dirty = bool(page.oob is not None and page.oob.dirty)
+            entries.append((lbn, ppn, dirty))
+        return entries
+
+    def _block_entries_snapshot(self) -> List[Tuple[int, int, int, int]]:
+        entries = []
+        for group, pbn in self.engine.data_map.items():
+            packed = self.engine.data_map._state_bitmaps(pbn)
+            dirty_bitmap = packed & ((1 << 64) - 1)
+            valid_bitmap = packed >> 64
+            entries.append((group, pbn, dirty_bitmap, valid_bitmap))
+        return entries
+
+    # ------------------------------------------------------------------
+    # Crash and recovery
+    # ------------------------------------------------------------------
+
+    def background_collect(self, budget_us: float) -> float:
+        """Spend up to ``budget_us`` of idle time on garbage collection.
+
+        Evicts and merges ahead of demand so foreground writes find
+        free blocks waiting (§5 integrates silent eviction with
+        background collection).  Returns the simulated time actually
+        consumed; stops early when there is nothing useful to do.
+        """
+        self._check_alive()
+        if budget_us < 0:
+            raise ConfigError("budget_us must be >= 0")
+        spent = 0.0
+        erases_before = self.chip.stats.block_erases
+        while spent < budget_us:
+            step = self.engine.background_step()
+            if step == 0.0:
+                break
+            spent += step
+        spent += self._finish_op(sync=False, erases_before=erases_before)
+        return spent
+
+    def shutdown(self) -> float:
+        """Clean shutdown: flush the log and checkpoint the mapping.
+
+        A cache restarted after this recovers with a minimal log replay
+        — the warm-restart path that makes persistent caching pay off
+        (§2: filling a 100 GB cache from a 500 IOPS disk takes 14 hours;
+        reloading a checkpoint takes seconds).
+        """
+        if not self.oplog.enabled:
+            return 0.0
+        return self.checkpoint_now()
+
+    def crash(self) -> int:
+        """Simulate a power failure: volatile state is lost.
+
+        Returns the number of buffered log records that were lost
+        (always zero for an NVRAM-backed log).  Flash contents, flushed
+        log records and checkpoints survive.
+        """
+        lost = self.oplog.drop_buffer()
+        self._crashed = True
+        return lost
+
+    def recover(self) -> float:
+        """Roll-forward recovery; returns the simulated recovery time.
+
+        Requires ``consistency=True`` — a device that never persisted
+        its mapping has nothing to recover and must be reset instead.
+        """
+        if not self.oplog.enabled:
+            raise RecoveryError(
+                "no-consistency configuration: mapping was never persisted"
+            )
+        checkpoint = self.checkpoints.latest()
+        from_seq = checkpoint.seq if checkpoint is not None else 0
+        records = self.oplog.records_after(from_seq)
+        state = recovery_mod.replay(
+            checkpoint, records, self.engine.pages_per_block
+        )
+        recovery_mod.materialize(self.engine, state)
+        self._crashed = False
+
+        cost = self.oplog.replay_read_cost(from_seq)
+        if checkpoint is not None:
+            cost += self.checkpoints.read_cost(checkpoint)
+        return cost
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise RecoveryError("device crashed; call recover() first")
+
+    def __repr__(self) -> str:
+        policy = self.config.policy.name
+        return (
+            f"SolidStateCache(policy={policy}, "
+            f"cached={self.engine.cached_blocks()} blocks)"
+        )

@@ -1,0 +1,210 @@
+"""The SSC operation log.
+
+Paper §4.2.2: "An SSC uses an operation log to persist changes to the
+sparse hash map.  A log record consists of a monotonically increasing
+log sequence number, the logical and physical block addresses, and an
+identifier indicating whether this is a page-level or block-level
+mapping.  For operations that may be buffered, such as clean and
+write-clean, an SSC uses asynchronous group commit to flush the log
+records from device memory to flash periodically.  For operations with
+immediate consistency guarantees, such as write-dirty and evict, the
+log is flushed as part of the operation using a synchronous commit."
+
+The log region is modeled as a dedicated flash area: flushes are charged
+page-program latency for however many pages the pending records occupy,
+and a block-erase is charged per 64 log pages retired at checkpoint
+truncation.  Flushed records are durable (they survive a crash); the
+buffer is volatile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List
+
+from repro.flash.timing import TimingModel
+
+
+class RecordKind(Enum):
+    """What a log record describes."""
+
+    INSERT_PAGE = auto()      # page-level mapping insert: lbn -> ppn
+    REMOVE_PAGE = auto()      # page-level mapping remove
+    INSERT_BLOCK = auto()     # block-level mapping insert: group -> pbn
+    REMOVE_BLOCK = auto()     # block-level mapping remove
+    INVALIDATE_PAGE = auto()  # a block-mapped page's copy became stale
+    CLEAN = auto()            # block marked clean (future-evictable)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable mapping-change record.
+
+    ``extra`` carries the dirty flag for page inserts; for block inserts
+    it packs the dirty-page bitmap in the low 64 bits and the valid-page
+    bitmap in the next 64 (the paper persists per-page state through
+    out-of-band writes "near its associated data"; we journal it, which
+    has the same durability and a simpler replay).
+    """
+
+    seq: int
+    kind: RecordKind
+    lbn: int
+    ppn: int = 0
+    extra: int = 0
+
+
+#: Modeled on-flash size of one record: 8 B sequence number, 8 B logical
+#: address, 8 B physical address, 2 B kind/flags (paper §4.2.2 fields).
+RECORD_BYTES = 26
+
+
+class OperationLog:
+    """Buffered operation log with synchronous and group commit."""
+
+    def __init__(self, timing: TimingModel, page_size: int = 4096,
+                 pages_per_block: int = 64):
+        self.timing = timing
+        self.page_size = page_size
+        self.pages_per_block = pages_per_block
+        self._next_seq = 1
+        self.buffer: List[LogRecord] = []
+        self.flushed: List[LogRecord] = []
+        # Total durable log footprint since the covering checkpoint.
+        self.flushed_bytes = 0
+        # Counters for the consistency-cost evaluation (Fig. 4).
+        self.sync_flushes = 0
+        self.async_flushes = 0
+        self.records_written = 0
+        self.pages_written = 0
+        self.erases = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._next_seq - 1
+
+    @property
+    def last_flushed_seq(self) -> int:
+        """Sequence number of the most recent *durable* record."""
+        return self.flushed[-1].seq if self.flushed else 0
+
+    def append(self, kind: RecordKind, lbn: int, ppn: int = 0, extra: int = 0) -> LogRecord:
+        """Buffer a record; it becomes durable at the next flush."""
+        record = LogRecord(self._next_seq, kind, lbn, ppn, extra)
+        self._next_seq += 1
+        self.buffer.append(record)
+        return record
+
+    def pending(self) -> int:
+        """Number of buffered (volatile) records."""
+        return len(self.buffer)
+
+    def flush(self, sync: bool) -> float:
+        """Make buffered records durable; returns the flash cost in us.
+
+        ``sync`` only affects accounting (Fig. 4 distinguishes
+        synchronous commits, which sit on the request path, from group
+        commits): the durability effect is identical.
+        """
+        if not self.buffer:
+            return 0.0
+        count = len(self.buffer)
+        bytes_needed = count * RECORD_BYTES
+        pages = -(-bytes_needed // self.page_size)  # ceil
+        self.flushed.extend(self.buffer)
+        self.buffer.clear()
+        self.flushed_bytes += bytes_needed
+        self.records_written += count
+        self.pages_written += pages
+        if sync:
+            self.sync_flushes += 1
+        else:
+            self.async_flushes += 1
+        return pages * self.timing.write_cost()
+
+    def truncate_through(self, seq: int) -> float:
+        """Drop durable records with sequence <= ``seq`` (checkpointed).
+
+        Returns the cost of erasing the retired log blocks.
+        """
+        keep = [record for record in self.flushed if record.seq > seq]
+        dropped_bytes = (len(self.flushed) - len(keep)) * RECORD_BYTES
+        self.flushed = keep
+        self.flushed_bytes = len(keep) * RECORD_BYTES
+        dropped_pages = dropped_bytes // self.page_size
+        blocks = dropped_pages // self.pages_per_block
+        self.erases += blocks
+        return blocks * self.timing.erase_cost()
+
+    def records_after(self, seq: int) -> List[LogRecord]:
+        """Durable records with sequence > ``seq`` (for roll-forward)."""
+        return [record for record in self.flushed if record.seq > seq]
+
+    def drop_buffer(self) -> int:
+        """Simulate a crash: volatile records are lost; returns the count."""
+        lost = len(self.buffer)
+        self.buffer.clear()
+        return lost
+
+    def replay_read_cost(self, from_seq: int) -> float:
+        """Flash read cost of loading records after ``from_seq``."""
+        count = len(self.records_after(from_seq))
+        pages = -(-count * RECORD_BYTES // self.page_size)
+        return pages * self.timing.read_cost()
+
+
+class NvramOperationLog(OperationLog):
+    """A log backed by non-volatile RAM.
+
+    Paper §6.4: "On a system with non-volatile memory or that can flush
+    RAM contents to flash on a power failure, consistency imposes no
+    performance cost because there is no need to write logs or
+    checkpoints."  Records become durable the instant they are appended
+    and every flush is free; nothing is lost at a crash.
+    """
+
+    def append(self, kind: RecordKind, lbn: int, ppn: int = 0, extra: int = 0) -> LogRecord:
+        record = LogRecord(self._next_seq, kind, lbn, ppn, extra)
+        self._next_seq += 1
+        self.flushed.append(record)
+        self.flushed_bytes += RECORD_BYTES
+        self.records_written += 1
+        return record
+
+    def flush(self, sync: bool) -> float:
+        return 0.0
+
+    def drop_buffer(self) -> int:
+        return 0  # nothing volatile to lose
+
+    def replay_read_cost(self, from_seq: int) -> float:
+        return 0.0  # NVRAM reads are memory-speed
+
+
+class NullOperationLog(OperationLog):
+    """A disabled log (the paper's no-consistency configuration).
+
+    Appends and flushes are free no-ops; recovery from it is impossible,
+    matching a device that keeps its mapping only in RAM.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def append(self, kind: RecordKind, lbn: int, ppn: int = 0, extra: int = 0) -> LogRecord:
+        record = LogRecord(self._next_seq, kind, lbn, ppn, extra)
+        self._next_seq += 1
+        return record
+
+    def flush(self, sync: bool) -> float:
+        return 0.0
+
+    def truncate_through(self, seq: int) -> float:
+        return 0.0

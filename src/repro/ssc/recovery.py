@@ -1,0 +1,228 @@
+"""Roll-forward recovery for the SSC.
+
+Paper §4.2.2 (Recovery): "The recovery operation reconstructs the
+different mappings in device memory after a power failure or reboot.
+It first computes the difference between the sequence number of the
+most recent committed log record and the log sequence number
+corresponding to the beginning of the most recent checkpoint.  It then
+loads the mapping checkpoint and replays the log records falling in the
+range of the computed difference.  The SSC performs roll-forward
+recovery for both the page-level and block-level maps, and reconstructs
+the reverse-mapping table from the forward tables."
+
+The replay produces a *logical* picture — page-level entries
+(lbn → ppn, dirty) and block-level entries (group → pbn, dirty/valid
+bitmaps) — which is then materialized onto the flash chip: every
+programmed page not referenced by the recovered mapping is marked
+invalid (it is an orphan: its mapping record was still buffered when
+power failed, which the write-clean contract explicitly permits), and
+block roles, valid counts and dirty flags are reset to match.
+
+The returned recovery *time* covers only the flash reads the paper
+charges: loading the checkpoint and reading the log tail.  Rebuilding
+in-memory indexes is free at this scale on a device controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import RecoveryError
+from repro.flash.block import BlockKind
+from repro.flash.page import PageState
+from repro.ssc.checkpoint import Checkpoint
+from repro.ssc.log import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ssc.engine import CacheFTL
+
+
+_VALID_SHIFT = 64
+_LOW64 = (1 << 64) - 1
+
+
+@dataclass
+class _BlockEntry:
+    pbn: int
+    dirty_bitmap: int
+    valid_bitmap: int
+
+
+@dataclass
+class RecoveredState:
+    """The logical mapping picture produced by checkpoint + log replay."""
+
+    page_entries: Dict[int, Tuple[int, bool]] = field(default_factory=dict)
+    block_entries: Dict[int, _BlockEntry] = field(default_factory=dict)
+    replayed_records: int = 0
+
+
+def replay(
+    checkpoint: Optional[Checkpoint],
+    records: List[LogRecord],
+    pages_per_block: int,
+) -> RecoveredState:
+    """Apply ``records`` (in sequence order) on top of ``checkpoint``."""
+    state = RecoveredState()
+    if checkpoint is not None:
+        if not checkpoint.is_intact():
+            raise RecoveryError("checkpoint failed checksum validation")
+        for lbn, ppn, dirty in checkpoint.page_entries:
+            state.page_entries[lbn] = (ppn, dirty)
+        for group, pbn, dirty_bitmap, valid_bitmap in checkpoint.block_entries:
+            state.block_entries[group] = _BlockEntry(pbn, dirty_bitmap, valid_bitmap)
+
+    last_seq = checkpoint.seq if checkpoint is not None else 0
+    for record in records:
+        if record.seq <= last_seq:
+            raise RecoveryError(
+                f"log record {record.seq} out of order (after {last_seq})"
+            )
+        last_seq = record.seq
+        _apply(state, record, pages_per_block)
+        state.replayed_records += 1
+    return state
+
+
+def _apply(state: RecoveredState, record: LogRecord, pages_per_block: int) -> None:
+    kind = record.kind
+    if kind is RecordKind.INSERT_PAGE:
+        state.page_entries[record.lbn] = (record.ppn, bool(record.extra & 1))
+    elif kind is RecordKind.REMOVE_PAGE:
+        current = state.page_entries.get(record.lbn)
+        if current is not None and current[0] == record.ppn:
+            del state.page_entries[record.lbn]
+    elif kind is RecordKind.INSERT_BLOCK:
+        state.block_entries[record.lbn] = _BlockEntry(
+            pbn=record.ppn,
+            dirty_bitmap=record.extra & _LOW64,
+            valid_bitmap=record.extra >> _VALID_SHIFT,
+        )
+    elif kind is RecordKind.REMOVE_BLOCK:
+        entry = state.block_entries.get(record.lbn)
+        if entry is not None and entry.pbn == record.ppn:
+            del state.block_entries[record.lbn]
+    elif kind is RecordKind.INVALIDATE_PAGE:
+        group, offset = divmod(record.lbn, pages_per_block)
+        entry = state.block_entries.get(group)
+        if entry is not None:
+            bit = 1 << offset
+            entry.valid_bitmap &= ~bit
+            entry.dirty_bitmap &= ~bit
+    elif kind is RecordKind.CLEAN:
+        current = state.page_entries.get(record.lbn)
+        if current is not None:
+            state.page_entries[record.lbn] = (current[0], False)
+        else:
+            group, offset = divmod(record.lbn, pages_per_block)
+            entry = state.block_entries.get(group)
+            if entry is not None:
+                entry.dirty_bitmap &= ~(1 << offset)
+    else:  # pragma: no cover - enum is closed
+        raise RecoveryError(f"unknown record kind {kind}")
+
+
+def materialize(engine: "CacheFTL", state: RecoveredState) -> None:
+    """Install ``state`` into the engine and reconcile the flash chip.
+
+    After this returns: the forward maps match ``state`` exactly; every
+    flash page is VALID iff the recovered mapping references it; block
+    kinds, valid/dirty counts and the free lists are consistent; and the
+    engine's transient cursors (active log block, sequential-run state)
+    are reset.
+    """
+    chip = engine.chip
+    geometry = chip.geometry
+
+    expected_pages: Dict[int, Tuple[int, bool]] = {
+        ppn: (lbn, dirty) for lbn, (ppn, dirty) in state.page_entries.items()
+    }
+    expected_blocks: Dict[int, Tuple[int, _BlockEntry]] = {
+        entry.pbn: (group, entry) for group, entry in state.block_entries.items()
+    }
+
+    log_blocks: List[Tuple[int, int]] = []  # (oldest page seq, pbn)
+    for plane in chip.planes:
+        for block in plane.blocks.values():
+            _reconcile_block(
+                engine, plane, block, expected_pages, expected_blocks, log_blocks
+            )
+
+    engine._log_blocks.clear()
+    for _seq, pbn in sorted(log_blocks):
+        engine._log_blocks.append(pbn)
+    engine._active_log = None
+    engine._seq_log = None
+    engine._seq_next_lpn = None
+    engine._last_lpn = None
+
+    # Rebuild the forward maps without journaling (the log already
+    # holds, or held, these mappings).
+    engine.log_map.inner = type(engine.log_map.inner)()
+    for lbn, (ppn, _dirty) in state.page_entries.items():
+        engine.log_map.inner.insert(lbn, ppn)
+    engine.data_map.inner = type(engine.data_map.inner)()
+    for group, entry in state.block_entries.items():
+        engine.data_map.inner.insert(group, entry.pbn)
+    engine.data_map.rebuild_reverse()
+
+
+def _reconcile_block(engine, plane, block, expected_pages, expected_blocks,
+                     log_blocks) -> None:
+    chip = engine.chip
+    geometry = chip.geometry
+    block.valid_count = 0
+    block.dirty_count = 0
+
+    if block.pbn in expected_blocks:
+        _group, entry = expected_blocks[block.pbn]
+        block.kind = BlockKind.DATA
+        for offset, page in enumerate(block.pages):
+            if page.oob is None:
+                continue  # hole: never programmed since last erase
+            if entry.valid_bitmap >> offset & 1:
+                page.state = PageState.VALID
+                page.oob.dirty = bool(entry.dirty_bitmap >> offset & 1)
+                block.valid_count += 1
+                if page.oob.dirty:
+                    block.dirty_count += 1
+            else:
+                page.state = PageState.INVALID
+        return
+
+    programmed = [
+        (offset, page) for offset, page in enumerate(block.pages) if page.oob is not None
+    ]
+    if not programmed:
+        # Fully erased.  It may have been allocated (e.g. a just-opened
+        # log block whose first write never happened); return it to the
+        # free pool.
+        block.kind = BlockKind.FREE
+        block.write_pointer = 0
+        block.sequential = True
+        block.first_lbn = None
+        if not plane.is_free(block.pbn):
+            plane.release(block)
+        return
+
+    # A (former or current) log block: pages are live iff the recovered
+    # page map points at them.  Orphans — programmed pages whose mapping
+    # record was lost with the log buffer — become invalid, exactly the
+    # "as if silently evicted" semantics write-clean promises.
+    oldest_seq = None
+    for offset, page in programmed:
+        ppn = geometry.make_ppn(block.pbn, offset)
+        expected = expected_pages.get(ppn)
+        if expected is not None and page.oob.lbn == expected[0]:
+            page.state = PageState.VALID
+            page.oob.dirty = expected[1]
+            block.valid_count += 1
+            if page.oob.dirty:
+                block.dirty_count += 1
+        else:
+            page.state = PageState.INVALID
+        if oldest_seq is None or page.oob.seq < oldest_seq:
+            oldest_seq = page.oob.seq
+    block.kind = BlockKind.LOG
+    log_blocks.append((oldest_seq or 0, block.pbn))

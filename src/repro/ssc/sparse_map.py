@@ -1,0 +1,270 @@
+"""Sparse hash map — the SSC's memory-efficient mapping structure.
+
+Paper §4.1: "The SSC optimizes for sparseness in the blocks it caches
+with a sparse hash map data structure, developed at Google.  ...  The
+map is a hash table with t buckets divided into t/M groups of M buckets
+each.  Each group is stored sparsely as an array that holds values for
+allocated block addresses and an occupancy bitmap of size M, with one
+bit for each bucket.  A lookup for bucket i calculates the value
+location from the number of 1s in the bitmap before location i."
+
+This is that structure, from scratch: open addressing (linear probing
+after a 64-bit hash mix) over buckets, each group storing only its
+occupied entries in a packed array ranked by the occupancy bitmap.  The
+table is fully associative, so entries store the complete key.
+
+Memory accounting mirrors the paper's Table 4 arithmetic: each occupied
+entry costs :data:`ENTRY_BYTES` (key + value + structure state, the same
+constant the dense SSD tables use so the comparison is fair), and each
+*allocated group* additionally costs its occupancy bitmap plus array
+pointer — the ~8.4 bytes/entry sparse overhead the paper quotes for
+M = 32.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.ftl.mapping import ENTRY_BYTES
+
+#: Buckets per group (the paper sets M = 32).
+DEFAULT_GROUP_SIZE = 32
+
+#: Per-allocated-group overhead: M/8 bitmap bytes + an 8-byte pointer to
+#: the group's packed value array.
+GROUP_OVERHEAD_BYTES = 8
+
+_MASK = (1 << 64) - 1
+
+
+def _hash_key(key: int) -> int:
+    """splitmix64-style mixer; block addresses are too regular for id-hash."""
+    value = (key + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+class _Group:
+    """One group of M buckets: occupancy bits + packed (key, value) array."""
+
+    __slots__ = ("bits", "entries")
+
+    def __init__(self):
+        self.bits = 0
+        self.entries: List[Tuple[int, int]] = []
+
+    def rank(self, slot: int) -> int:
+        """Packed-array index for bucket ``slot`` (popcount below it)."""
+        return (self.bits & ((1 << slot) - 1)).bit_count()
+
+    def occupied(self, slot: int) -> bool:
+        return bool(self.bits >> slot & 1)
+
+    def get(self, slot: int) -> Tuple[int, int]:
+        return self.entries[self.rank(slot)]
+
+    def put(self, slot: int, key: int, value: int) -> None:
+        index = self.rank(slot)
+        if self.occupied(slot):
+            self.entries[index] = (key, value)
+        else:
+            self.entries.insert(index, (key, value))
+            self.bits |= 1 << slot
+
+    def delete(self, slot: int) -> None:
+        if not self.occupied(slot):
+            return
+        del self.entries[self.rank(slot)]
+        self.bits &= ~(1 << slot)
+
+
+class SparseHashMap:
+    """Open-addressed sparse hash map from int keys to int values.
+
+    Grows by doubling when load factor exceeds ``max_load``; shrinks are
+    unnecessary for the SSC's workloads (the cache stays near capacity).
+    """
+
+    def __init__(
+        self,
+        initial_buckets: int = 64,
+        group_size: int = DEFAULT_GROUP_SIZE,
+        max_load: float = 0.75,
+    ):
+        if group_size <= 0 or group_size > 64:
+            raise ConfigError("group_size must be in [1, 64]")
+        if not 0.1 <= max_load < 1.0:
+            raise ConfigError("max_load must be in [0.1, 1.0)")
+        self.group_size = group_size
+        self.max_load = max_load
+        self._buckets = self._round_up(max(initial_buckets, group_size))
+        self._groups: List[Optional[_Group]] = [None] * (self._buckets // group_size)
+        self._count = 0
+        # Probe-length statistics ("typically no more than 4-5 probes").
+        self.total_probes = 0
+        self.total_lookups = 0
+
+    @staticmethod
+    def _round_up(value: int) -> int:
+        power = 1
+        while power < value:
+            power <<= 1
+        return power
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    @property
+    def buckets(self) -> int:
+        return self._buckets
+
+    @property
+    def allocated_groups(self) -> int:
+        """Groups that hold at least one entry (they cost real memory)."""
+        return sum(1 for group in self._groups if group is not None and group.bits)
+
+    # ------------------------------------------------------------------
+
+    def _probe(self, key: int) -> Iterator[int]:
+        """Linear probe sequence over bucket indexes.
+
+        Linear probing (after a strong 64-bit mix) keeps chains short at
+        our load factor and — unlike quadratic probing — admits
+        tombstone-free deletion by re-inserting the run that follows the
+        removed bucket (see :meth:`_rehash_cluster_after`).
+        """
+        mask = self._buckets - 1
+        index = _hash_key(key) & mask
+        while True:
+            yield index
+            index = (index + 1) & mask
+
+    def _locate(self, bucket: int) -> Tuple[_Group, int]:
+        group_index, slot = divmod(bucket, self.group_size)
+        group = self._groups[group_index]
+        if group is None:
+            group = _Group()
+            self._groups[group_index] = group
+        return group, slot
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the value mapped to ``key``, or None."""
+        self.total_lookups += 1
+        for probes, bucket in enumerate(self._probe(key), start=1):
+            group_index, slot = divmod(bucket, self.group_size)
+            group = self._groups[group_index]
+            if group is None or not group.occupied(slot):
+                self.total_probes += probes
+                return None
+            stored_key, value = group.get(slot)
+            if stored_key == key:
+                self.total_probes += probes
+                return value
+            if probes > self._buckets:  # pragma: no cover - table invariant
+                raise RuntimeError("probe loop exceeded table size")
+
+    def insert(self, key: int, value: int) -> Optional[int]:
+        """Map ``key`` to ``value``; returns the previous value if any."""
+        if (self._count + 1) / self._buckets > self.max_load:
+            self._grow()
+        for bucket in self._probe(key):
+            group, slot = self._locate(bucket)
+            if not group.occupied(slot):
+                group.put(slot, key, value)
+                self._count += 1
+                return None
+            stored_key, old_value = group.get(slot)
+            if stored_key == key:
+                group.put(slot, key, value)
+                return old_value
+
+    def remove(self, key: int) -> Optional[int]:
+        """Unmap ``key``; returns the value it held, or None.
+
+        Deletion is tombstone-free: the occupied run following the
+        removed bucket is re-inserted, which keeps probe chains short —
+        important because the SSC removes entries constantly during
+        silent eviction.
+        """
+        for bucket in self._probe(key):
+            group_index, slot = divmod(bucket, self.group_size)
+            group = self._groups[group_index]
+            if group is None or not group.occupied(slot):
+                return None
+            stored_key, value = group.get(slot)
+            if stored_key == key:
+                group.delete(slot)
+                self._count -= 1
+                self._rehash_cluster_after(bucket)
+                return value
+
+    def _rehash_cluster_after(self, bucket: int) -> None:
+        """Re-insert entries whose probe chain may pass through ``bucket``.
+
+        With linear probing, any entry whose probe chain passed through
+        the removed bucket lives in the contiguous occupied run that
+        follows it.  Deleting and re-inserting that run restores the
+        invariant that every entry is reachable from its hash position.
+        """
+        mask = self._buckets - 1
+        index = (bucket + 1) & mask
+        displaced: List[Tuple[int, int]] = []
+        # Collect the contiguous run of occupied buckets after the hole.
+        # Any entry in it might have probed through the removed bucket.
+        steps = 0
+        while steps < self._buckets:
+            group_index, slot = divmod(index, self.group_size)
+            group = self._groups[group_index]
+            if group is None or not group.occupied(slot):
+                break
+            displaced.append(group.get(slot))
+            group.delete(slot)
+            self._count -= 1
+            index = (index + 1) & mask
+            steps += 1
+        for key, value in displaced:
+            self.insert(key, value)
+
+    def _grow(self) -> None:
+        entries = list(self.items())
+        self._buckets *= 2
+        self._groups = [None] * (self._buckets // self.group_size)
+        self._count = 0
+        for key, value in entries:
+            self.insert(key, value)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Yield (key, value) pairs in unspecified order."""
+        for group in self._groups:
+            if group is not None:
+                yield from group.entries
+
+    def keys(self) -> Iterator[int]:
+        for key, _value in self.items():
+            yield key
+
+    # ------------------------------------------------------------------
+
+    def mean_probes(self) -> float:
+        """Average probes per lookup so far."""
+        if self.total_lookups == 0:
+            return 0.0
+        return self.total_probes / self.total_lookups
+
+    def memory_bytes(self) -> int:
+        """Modeled memory of a C implementation of this structure.
+
+        Occupied entries cost ENTRY_BYTES each; allocated groups cost
+        their bitmap plus array pointer.  Empty groups cost only a null
+        pointer in the group directory, folded into the per-group
+        overhead of allocated groups for simplicity.
+        """
+        return (
+            self._count * ENTRY_BYTES
+            + self.allocated_groups * (self.group_size // 8 + GROUP_OVERHEAD_BYTES)
+        )

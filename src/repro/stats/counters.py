@@ -1,0 +1,72 @@
+"""Replay-level statistics: hits, misses, latency distribution.
+
+These are the manager-facing numbers behind Figures 3/4/6 (IOPS and
+response times) and the miss-rate column of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class LatencyStats:
+    """Streaming latency accumulator (mean, max, percentiles)."""
+
+    def __init__(self, keep_samples: bool = False):
+        self.count = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+        self._keep = keep_samples
+        self._samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        """Record one request's service time."""
+        if latency_us < 0:
+            raise ValueError("latency cannot be negative")
+        self.count += 1
+        self.total_us += latency_us
+        if latency_us > self.max_us:
+            self.max_us = latency_us
+        if self._keep:
+            self._samples.append(latency_us)
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Return the ``pct`` percentile; requires keep_samples=True."""
+        if not self._keep:
+            raise ValueError("percentiles require keep_samples=True")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(len(ordered) * pct / 100.0))
+        return ordered[index]
+
+
+@dataclass
+class ReplayStats:
+    """Outcome of replaying a trace through a cache manager."""
+
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    elapsed_us: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def iops(self) -> float:
+        """Requests per second of simulated time."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.ops / (self.elapsed_us / 1e6)
+
+    def miss_rate(self) -> float:
+        """Read miss rate in percent (Table 5 convention)."""
+        lookups = self.read_hits + self.read_misses
+        if lookups == 0:
+            return 0.0
+        return 100.0 * self.read_misses / lookups

@@ -1,0 +1,70 @@
+"""Trace file I/O.
+
+A minimal, line-oriented text format — one request per line::
+
+    R 123456
+    W 123457
+
+Comment lines start with ``#``.  This matches the spirit of the
+user-space trace-replay framework the paper added to its cache manager
+(§5) and lets externally-captured block traces be replayed through the
+same harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import ReproError
+from repro.traces.record import OpKind, TraceRecord
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ReproError):
+    """A trace file line could not be parsed."""
+
+
+def write_trace(path: PathLike, records: Iterable[TraceRecord]) -> int:
+    """Write ``records`` to ``path``; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro block trace v1: <op R|W> <lbn>\n")
+        for record in records:
+            handle.write(f"{record.op.value} {record.lbn}\n")
+            count += 1
+    return count
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Read every record from ``path``."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from ``path`` without holding them all in memory."""
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected '<op> <lbn>', got {line!r}"
+                )
+            op_text, lbn_text = parts
+            try:
+                op = OpKind(op_text)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: unknown op {op_text!r}"
+                ) from None
+            try:
+                lbn = int(lbn_text)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: bad block number {lbn_text!r}"
+                ) from None
+            yield TraceRecord(op, lbn)

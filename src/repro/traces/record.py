@@ -1,0 +1,43 @@
+"""Trace records: one block-level I/O request each.
+
+All requests are 4,096-byte, sector-aligned block operations, matching
+the paper's trace preprocessing (Table 3 caption).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OpKind(Enum):
+    """Request type."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+class TraceRecord:
+    """One I/O request: an operation on a 4 KB disk block."""
+
+    __slots__ = ("op", "lbn")
+
+    def __init__(self, op: OpKind, lbn: int):
+        if lbn < 0:
+            raise ValueError(f"lbn must be >= 0, got {lbn}")
+        self.op = op
+        self.lbn = lbn
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpKind.WRITE
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return self.op is other.op and self.lbn == other.lbn
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.lbn))
+
+    def __repr__(self) -> str:
+        return f"TraceRecord({self.op.value}, {self.lbn})"

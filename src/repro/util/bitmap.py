@@ -1,0 +1,113 @@
+"""A fixed-size bitmap with popcount support.
+
+Used for sparse-hash-map group occupancy (one bit per bucket), per-erase-
+block dirty-page bitmaps, and page-validity tracking.  Backed by a Python
+integer, which gives free arbitrary width and fast popcounts via
+``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+
+class Bitmap:
+    """A mutable bitmap of ``size`` bits, all initially clear."""
+
+    __slots__ = ("_bits", "size")
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"bitmap size must be >= 0, got {size}")
+        self.size = size
+        self._bits = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        """Return True if bit ``index`` is 1."""
+        self._check(index)
+        return bool(self._bits >> index & 1)
+
+    def count(self) -> int:
+        """Return the number of set bits (popcount)."""
+        return self._bits.bit_count()
+
+    def count_below(self, index: int) -> int:
+        """Return the number of set bits strictly below ``index``.
+
+        This is the rank operation the sparse hash map uses to locate a
+        bucket's slot within its group's packed value array.
+        """
+        self._check(index) if index < self.size else None
+        if index <= 0:
+            return 0
+        mask = (1 << index) - 1
+        return (self._bits & mask).bit_count()
+
+    def clear_all(self) -> None:
+        """Reset every bit to 0."""
+        self._bits = 0
+
+    def set_all(self) -> None:
+        """Set every bit to 1."""
+        self._bits = (1 << self.size) - 1
+
+    def any(self) -> bool:
+        """Return True if at least one bit is set."""
+        return self._bits != 0
+
+    def none(self) -> bool:
+        """Return True if no bit is set."""
+        return self._bits == 0
+
+    def iter_set(self):
+        """Yield indexes of set bits in ascending order."""
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def to_int(self) -> int:
+        """Return the raw bit pattern as an integer (for serialization)."""
+        return self._bits
+
+    @classmethod
+    def from_int(cls, size: int, bits: int) -> "Bitmap":
+        """Reconstruct a bitmap from :meth:`to_int` output."""
+        bitmap = cls(size)
+        if bits >> size:
+            raise ValueError("bit pattern wider than declared size")
+        bitmap._bits = bits
+        return bitmap
+
+    def copy(self) -> "Bitmap":
+        """Return an independent copy of this bitmap."""
+        clone = Bitmap(self.size)
+        clone._bits = self._bits
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.size == other.size and self._bits == other._bits
+
+    def __hash__(self):  # pragma: no cover - bitmaps are mutable
+        raise TypeError("Bitmap is unhashable")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Bitmap(size={self.size}, set={self.count()})"

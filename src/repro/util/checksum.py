@@ -1,0 +1,43 @@
+"""Checksum helpers.
+
+The native FlashCache manager stores an optional 8-byte checksum per
+cached block; the SSC checkpoint format checksums its serialized mapping
+so recovery can detect torn checkpoint writes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Tuple, Union
+
+Chunk = Union[bytes, str, int, None]
+
+
+def crc32_of(*parts: Chunk) -> int:
+    """Return a CRC32 over a heterogeneous tuple of small values.
+
+    Integers are encoded as their decimal representation with a type tag,
+    which is unambiguous for the metadata tuples we checksum (sequence
+    numbers, addresses, state flags).
+    """
+    crc = 0
+    for part in parts:
+        if part is None:
+            data = b"\x00N"
+        elif isinstance(part, int):
+            data = b"i" + str(part).encode("ascii")
+        elif isinstance(part, str):
+            data = b"s" + part.encode("utf-8")
+        else:
+            data = b"b" + part
+        crc = zlib.crc32(data, crc)
+        crc = zlib.crc32(b"|", crc)
+    return crc & 0xFFFFFFFF
+
+
+def crc32_of_pairs(pairs: Iterable[Tuple[int, int]]) -> int:
+    """CRC32 over an iterable of integer pairs (used by checkpoints)."""
+    crc = 0
+    for a, b in pairs:
+        crc = zlib.crc32(f"{a}:{b};".encode("ascii"), crc)
+    return crc & 0xFFFFFFFF

@@ -1,0 +1,108 @@
+"""An intrusive doubly-linked LRU list over integer keys.
+
+The write-back cache managers (both FlashTier's and the native FlashCache
+baseline) keep their cached/dirty blocks on an LRU chain so that ``clean``
+and eviction candidates can be found in O(1).  The paper's native manager
+stores two 2-byte prev/next indexes per block for exactly this structure;
+we model the same list with a dict of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LRUList:
+    """LRU ordering over integer keys; most-recently-used at the head."""
+
+    def __init__(self):
+        self._nodes: Dict[int, _Node] = {}
+        self._head: Optional[_Node] = None
+        self._tail: Optional[_Node] = None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._nodes
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _push_front(self, node: _Node) -> None:
+        node.next = self._head
+        node.prev = None
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    def touch(self, key: int) -> None:
+        """Insert ``key`` as most-recently-used, or move it to the front."""
+        node = self._nodes.get(key)
+        if node is None:
+            node = _Node(key)
+            self._nodes[key] = node
+        else:
+            self._unlink(node)
+        self._push_front(node)
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key``; return True if it was present."""
+        node = self._nodes.pop(key, None)
+        if node is None:
+            return False
+        self._unlink(node)
+        return True
+
+    def lru(self) -> Optional[int]:
+        """Return the least-recently-used key, or None if empty."""
+        return self._tail.key if self._tail is not None else None
+
+    def mru(self) -> Optional[int]:
+        """Return the most-recently-used key, or None if empty."""
+        return self._head.key if self._head is not None else None
+
+    def pop_lru(self) -> Optional[int]:
+        """Remove and return the least-recently-used key."""
+        if self._tail is None:
+            return None
+        key = self._tail.key
+        self.remove(key)
+        return key
+
+    def iter_lru_to_mru(self) -> Iterator[int]:
+        """Yield keys from least to most recently used.
+
+        Snapshots the order first, so callers may remove the yielded keys
+        while iterating.
+        """
+        keys = []
+        node = self._tail
+        while node is not None:
+            keys.append(node.key)
+            node = node.prev
+        return iter(keys)
+
+    def clear(self) -> None:
+        """Drop every key."""
+        self._nodes.clear()
+        self._head = self._tail = None

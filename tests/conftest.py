@@ -1,0 +1,61 @@
+"""Shared fixtures: small device geometries sized for fast tests."""
+
+import random
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import TimingModel
+from repro.ftl.ssd import SSD
+from repro.ssc.device import SolidStateCache, SSCConfig
+from repro.ssc.engine import EvictionPolicy
+
+
+@pytest.fixture
+def small_geometry() -> FlashGeometry:
+    """4 planes x 16 blocks x 8 pages: big enough for GC, tiny to run."""
+    return FlashGeometry(planes=4, blocks_per_plane=16, pages_per_block=8)
+
+
+@pytest.fixture
+def medium_geometry() -> FlashGeometry:
+    """4 planes x 32 blocks x 16 pages."""
+    return FlashGeometry(planes=4, blocks_per_plane=32, pages_per_block=16)
+
+
+@pytest.fixture
+def timing() -> TimingModel:
+    return TimingModel()
+
+
+@pytest.fixture
+def chip(small_geometry) -> FlashChip:
+    return FlashChip(small_geometry)
+
+
+@pytest.fixture
+def ssd(medium_geometry) -> SSD:
+    return SSD(geometry=medium_geometry)
+
+
+@pytest.fixture
+def ssc(medium_geometry) -> SolidStateCache:
+    return SolidStateCache.ssc(medium_geometry)
+
+
+@pytest.fixture
+def ssc_r(medium_geometry) -> SolidStateCache:
+    return SolidStateCache.ssc_r(medium_geometry)
+
+
+@pytest.fixture
+def ssc_no_consistency(medium_geometry) -> SolidStateCache:
+    return SolidStateCache(
+        medium_geometry, config=SSCConfig(policy=EvictionPolicy.UTIL, consistency=False)
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xF1A5)

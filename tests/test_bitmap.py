@@ -1,0 +1,143 @@
+"""Unit tests for repro.util.bitmap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_new_bitmap_is_empty(self):
+        bitmap = Bitmap(16)
+        assert bitmap.count() == 0
+        assert bitmap.none()
+        assert not bitmap.any()
+        assert len(bitmap) == 16
+
+    def test_set_and_test(self):
+        bitmap = Bitmap(8)
+        bitmap.set(3)
+        assert bitmap.test(3)
+        assert not bitmap.test(2)
+        assert bitmap.count() == 1
+
+    def test_set_is_idempotent(self):
+        bitmap = Bitmap(8)
+        bitmap.set(5)
+        bitmap.set(5)
+        assert bitmap.count() == 1
+
+    def test_clear(self):
+        bitmap = Bitmap(8)
+        bitmap.set(5)
+        bitmap.clear(5)
+        assert not bitmap.test(5)
+        assert bitmap.count() == 0
+
+    def test_clear_unset_bit_is_noop(self):
+        bitmap = Bitmap(8)
+        bitmap.clear(1)
+        assert bitmap.count() == 0
+
+    def test_zero_size_allowed(self):
+        bitmap = Bitmap(0)
+        assert bitmap.count() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+    @pytest.mark.parametrize("index", [-1, 8, 100])
+    def test_out_of_range_rejected(self, index):
+        bitmap = Bitmap(8)
+        with pytest.raises(IndexError):
+            bitmap.set(index)
+        with pytest.raises(IndexError):
+            bitmap.test(index)
+
+
+class TestRank:
+    def test_count_below_empty(self):
+        bitmap = Bitmap(32)
+        assert bitmap.count_below(10) == 0
+
+    def test_count_below_counts_strictly_below(self):
+        bitmap = Bitmap(32)
+        for index in (0, 3, 7, 8):
+            bitmap.set(index)
+        assert bitmap.count_below(0) == 0
+        assert bitmap.count_below(3) == 1
+        assert bitmap.count_below(4) == 2
+        assert bitmap.count_below(8) == 3
+        assert bitmap.count_below(9) == 4
+
+    def test_rank_matches_manual_count(self):
+        bitmap = Bitmap(64)
+        bits = [1, 5, 17, 18, 40, 63]
+        for bit in bits:
+            bitmap.set(bit)
+        for threshold in range(64):
+            assert bitmap.count_below(threshold) == sum(1 for b in bits if b < threshold)
+
+
+class TestBulkOps:
+    def test_set_all_and_clear_all(self):
+        bitmap = Bitmap(10)
+        bitmap.set_all()
+        assert bitmap.count() == 10
+        bitmap.clear_all()
+        assert bitmap.count() == 0
+
+    def test_iter_set_ascending(self):
+        bitmap = Bitmap(64)
+        for bit in (9, 1, 33):
+            bitmap.set(bit)
+        assert list(bitmap.iter_set()) == [1, 9, 33]
+
+    def test_roundtrip_through_int(self):
+        bitmap = Bitmap(16)
+        for bit in (0, 7, 15):
+            bitmap.set(bit)
+        clone = Bitmap.from_int(16, bitmap.to_int())
+        assert clone == bitmap
+
+    def test_from_int_rejects_overwide_pattern(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_int(4, 1 << 5)
+
+    def test_copy_is_independent(self):
+        bitmap = Bitmap(8)
+        bitmap.set(2)
+        clone = bitmap.copy()
+        clone.set(3)
+        assert not bitmap.test(3)
+        assert clone.test(2)
+
+    def test_equality(self):
+        a, b = Bitmap(8), Bitmap(8)
+        a.set(1)
+        b.set(1)
+        assert a == b
+        b.set(2)
+        assert a != b
+        assert a != Bitmap(9)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=127)))
+def test_property_count_matches_set_size(bits):
+    bitmap = Bitmap(128)
+    for bit in bits:
+        bitmap.set(bit)
+    assert bitmap.count() == len(bits)
+    assert sorted(bits) == list(bitmap.iter_set())
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=63)),
+    st.integers(min_value=0, max_value=63),
+)
+def test_property_rank_consistent(bits, threshold):
+    bitmap = Bitmap(64)
+    for bit in bits:
+        bitmap.set(bit)
+    assert bitmap.count_below(threshold) == len([b for b in bits if b < threshold])

@@ -1,0 +1,61 @@
+"""Unit tests for repro.util.bloom."""
+
+import random
+
+import pytest
+
+from repro.util.bloom import BloomFilter
+
+
+class TestGuarantees:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=500, fp_rate=0.01)
+        keys = random.Random(1).sample(range(10**9), 500)
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_is_bounded(self):
+        bloom = BloomFilter(expected_items=1000, fp_rate=0.01)
+        rng = random.Random(2)
+        members = set(rng.sample(range(10**9), 1000))
+        for key in members:
+            bloom.add(key)
+        probes = [key for key in rng.sample(range(10**9, 2 * 10**9), 5000)]
+        false_positives = sum(1 for key in probes if bloom.might_contain(key))
+        # Allow generous slack over the target 1% rate.
+        assert false_positives / len(probes) < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=10)
+        assert not bloom.might_contain(123)
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add(1)
+        bloom.add(2)
+        assert len(bloom) == 2
+
+    def test_clear(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add(7)
+        bloom.clear()
+        assert not bloom.might_contain(7)
+        assert len(bloom) == 0
+
+    def test_memory_scales_with_expected_items(self):
+        small = BloomFilter(expected_items=100)
+        large = BloomFilter(expected_items=10_000)
+        assert large.memory_bytes() > small.memory_bytes()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("items", [0, -5])
+    def test_bad_expected_items(self, items):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=items)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_fp_rate(self, rate):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=10, fp_rate=rate)

@@ -1,0 +1,88 @@
+"""Unit tests for SSC checkpoints."""
+
+import pytest
+
+from repro.flash.timing import TimingModel
+from repro.ssc.checkpoint import (
+    BLOCK_ENTRY_BYTES,
+    Checkpoint,
+    CheckpointStore,
+    HEADER_BYTES,
+    PAGE_ENTRY_BYTES,
+)
+
+
+def make_checkpoint(seq=10, pages=3, blocks=2):
+    return Checkpoint(
+        seq=seq,
+        page_entries=[(i, i + 100, bool(i % 2)) for i in range(pages)],
+        block_entries=[(i, i + 50, 0b101, 0b111) for i in range(blocks)],
+    )
+
+
+class TestCheckpoint:
+    def test_checksum_computed_on_creation(self):
+        checkpoint = make_checkpoint()
+        assert checkpoint.checksum != 0
+        assert checkpoint.is_intact()
+
+    def test_tamper_detected(self):
+        checkpoint = make_checkpoint()
+        checkpoint.page_entries.append((99, 999, False))
+        assert not checkpoint.is_intact()
+
+    def test_bitmap_tamper_detected(self):
+        checkpoint = make_checkpoint()
+        group, pbn, dirty, valid = checkpoint.block_entries[0]
+        checkpoint.block_entries[0] = (group, pbn, dirty ^ 1, valid)
+        assert not checkpoint.is_intact()
+
+    def test_size_formula(self):
+        checkpoint = make_checkpoint(pages=3, blocks=2)
+        assert checkpoint.size_bytes() == (
+            HEADER_BYTES + 3 * PAGE_ENTRY_BYTES + 2 * BLOCK_ENTRY_BYTES
+        )
+
+
+class TestCheckpointStore:
+    def make_store(self):
+        return CheckpointStore(TimingModel())
+
+    def test_empty_store(self):
+        assert self.make_store().latest() is None
+
+    def test_write_and_read_back(self):
+        store = self.make_store()
+        checkpoint = make_checkpoint(seq=5)
+        cost = store.write(checkpoint)
+        assert cost > 0
+        assert store.latest() is checkpoint
+
+    def test_alternating_slots_keep_previous(self):
+        store = self.make_store()
+        first = make_checkpoint(seq=5)
+        second = make_checkpoint(seq=9)
+        store.write(first)
+        store.write(second)
+        assert store.latest() is second
+        # Corrupt the newest: the store must fall back to the older one.
+        second.page_entries.append((1, 2, True))
+        assert store.latest() is first
+
+    def test_latest_picks_highest_seq(self):
+        store = self.make_store()
+        store.write(make_checkpoint(seq=9))
+        store.write(make_checkpoint(seq=5))
+        assert store.latest().seq == 9
+
+    def test_read_cost_scales_with_size(self):
+        store = self.make_store()
+        small = make_checkpoint(pages=10)
+        large = make_checkpoint(pages=10_000)
+        assert store.read_cost(large) > store.read_cost(small)
+
+    def test_write_cost_scales_with_size(self):
+        store = self.make_store()
+        assert store.write(make_checkpoint(pages=10_000)) > store.write(
+            make_checkpoint(pages=10)
+        )

@@ -1,0 +1,37 @@
+"""Unit tests for repro.util.checksum."""
+
+from repro.util.checksum import crc32_of, crc32_of_pairs
+
+
+class TestCrc32Of:
+    def test_deterministic(self):
+        assert crc32_of(1, "a", b"x") == crc32_of(1, "a", b"x")
+
+    def test_order_sensitive(self):
+        assert crc32_of(1, 2) != crc32_of(2, 1)
+
+    def test_type_tagged(self):
+        # The int 1 and the string "1" must not collide.
+        assert crc32_of(1) != crc32_of("1")
+
+    def test_none_distinct_from_empty(self):
+        assert crc32_of(None) != crc32_of("")
+        assert crc32_of(None) != crc32_of(b"")
+
+    def test_fits_32_bits(self):
+        assert 0 <= crc32_of("anything", 42) < 2**32
+
+
+class TestCrc32OfPairs:
+    def test_deterministic(self):
+        pairs = [(1, 2), (3, 4)]
+        assert crc32_of_pairs(pairs) == crc32_of_pairs(pairs)
+
+    def test_sensitive_to_values(self):
+        assert crc32_of_pairs([(1, 2)]) != crc32_of_pairs([(1, 3)])
+
+    def test_sensitive_to_order(self):
+        assert crc32_of_pairs([(1, 2), (3, 4)]) != crc32_of_pairs([(3, 4), (1, 2)])
+
+    def test_empty(self):
+        assert crc32_of_pairs([]) == 0

@@ -1,0 +1,109 @@
+"""Cost-model sanity: simulated latencies must decompose correctly.
+
+These tests pin the timing semantics the IOPS results rest on — if a
+path forgets to charge (or double-charges) flash work, every figure
+shifts silently.
+"""
+
+import pytest
+
+from repro.disk.model import Disk
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import TimingModel
+from repro.manager.writethrough import FlashTierWTManager
+from repro.ssc.device import SolidStateCache, SSCConfig
+
+
+@pytest.fixture
+def geometry():
+    return FlashGeometry(planes=4, blocks_per_plane=32, pages_per_block=16)
+
+
+@pytest.fixture
+def timing():
+    return TimingModel()
+
+
+class TestDeviceCosts:
+    def test_read_hit_costs_one_page_read(self, geometry, timing):
+        ssc = SolidStateCache.ssc(geometry)
+        ssc.write_clean(5, "x")
+        _data, cost = ssc.read(5)
+        assert cost == pytest.approx(timing.read_cost())
+
+    def test_first_write_clean_is_buffered_and_cheap(self, geometry, timing):
+        ssc = SolidStateCache.ssc(geometry)
+        cost = ssc.write_clean(5, "x")
+        # One page program plus (at most) the first log-block setup; no
+        # synchronous log flush for a fresh address.
+        assert cost >= timing.write_cost()
+        assert ssc.oplog.sync_flushes == 0
+
+    def test_write_dirty_charges_log_flush(self, geometry, timing):
+        ssc = SolidStateCache.ssc(geometry)
+        dirty_cost = ssc.write_dirty(6, "x")
+        # data program + >=1 log page program.
+        assert dirty_cost >= 2 * timing.write_cost()
+
+    def test_nvram_write_dirty_drops_flush_cost(self, geometry, timing):
+        flash = SolidStateCache.ssc(geometry)
+        nvram = SolidStateCache(geometry, config=SSCConfig(nvram=True))
+        assert nvram.write_dirty(6, "x") < flash.write_dirty(6, "x")
+
+    def test_exists_and_clean_cost_control_delay_only(self, geometry, timing):
+        ssc = SolidStateCache.ssc(geometry)
+        ssc.write_dirty(5, "x")
+        _dirty, cost = ssc.exists(0, 10)
+        assert cost == pytest.approx(timing.control_delay_us)
+
+    def test_chip_busy_time_tracks_all_operations(self, geometry):
+        ssc = SolidStateCache.ssc(geometry)
+        for i in range(200):
+            ssc.write_clean(i, i)
+        stats = ssc.chip.stats
+        expected = (
+            stats.page_reads * ssc.chip.timing.read_cost()
+            + stats.page_writes * ssc.chip.timing.write_cost()
+            + stats.block_erases * ssc.chip.timing.erase_cost()
+            + stats.oob_scans * ssc.chip.timing.oob_read_cost()
+        )
+        assert stats.busy_us == pytest.approx(expected)
+
+
+class TestManagerCosts:
+    def test_miss_charges_disk_plus_fill(self, geometry, timing):
+        ssc = SolidStateCache.ssc(geometry)
+        disk = Disk(10_000)
+        manager = FlashTierWTManager(ssc, disk)
+        disk.write(77, "cold")
+        _data, cost = manager.read(77)
+        # Disk random access dominates; the SSC fill adds flash time.
+        assert cost > disk.timing.random_cost()
+
+    def test_hit_avoids_disk_entirely(self, geometry):
+        ssc = SolidStateCache.ssc(geometry)
+        disk = Disk(10_000)
+        manager = FlashTierWTManager(ssc, disk)
+        manager.write(5, "x")
+        reads_before = disk.stats.reads
+        _data, cost = manager.read(5)
+        assert disk.stats.reads == reads_before
+        assert cost < disk.timing.random_cost()
+
+    def test_wt_write_pays_disk_and_flash(self, geometry):
+        ssc = SolidStateCache.ssc(geometry)
+        disk = Disk(10_000)
+        manager = FlashTierWTManager(ssc, disk)
+        cost = manager.write(9, "x")
+        assert cost > disk.timing.random_cost()
+
+
+class TestCustomTiming:
+    def test_timing_parameters_propagate(self, geometry):
+        slow = TimingModel(page_read_us=650.0, page_write_us=850.0)
+        fast = TimingModel()
+        slow_ssc = SolidStateCache(geometry, timing=slow)
+        fast_ssc = SolidStateCache(geometry, timing=fast)
+        slow_cost = slow_ssc.write_clean(1, "x")
+        fast_cost = fast_ssc.write_clean(1, "x")
+        assert slow_cost > 5 * fast_cost

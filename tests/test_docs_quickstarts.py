@@ -1,0 +1,53 @@
+"""The quickstart snippets in README.md and the package docstring must
+actually run — documentation that drifts from the API is worse than no
+documentation."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_python_blocks(text: str):
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO_ROOT / "README.md").read_text()
+
+    def test_quickstart_block_runs(self, readme):
+        blocks = extract_python_blocks(readme)
+        assert blocks, "README lost its python quickstart"
+        # Shrink the workload so the docs test stays fast.
+        code = blocks[0].replace(".scaled(0.1)", ".scaled(0.05)")
+        namespace: dict = {}
+        exec(compile(code, "README.md", "exec"), namespace)
+
+    def test_device_block_runs(self, readme):
+        blocks = extract_python_blocks(readme)
+        assert len(blocks) >= 2
+        code = blocks[1]
+        # The snippet uses a bare `...` inside except; it must compile
+        # and run as-is.
+        namespace: dict = {}
+        exec(compile(code, "README.md#2", "exec"), namespace)
+
+
+class TestPackageDocstring:
+    def test_docstring_example_runs(self):
+        match = re.search(r"Quickstart::\n\n(.*?)\n\"{0,3}$",
+                          repro.__doc__, flags=re.DOTALL)
+        assert match, "package docstring lost its quickstart"
+        code = "\n".join(
+            line[4:] if line.startswith("    ") else line
+            for line in match.group(1).splitlines()
+        )
+        code = code.replace(".scaled(0.1)", ".scaled(0.05)")
+        namespace: dict = {}
+        exec(compile(code, "repro.__doc__", "exec"), namespace)

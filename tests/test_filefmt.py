@@ -1,0 +1,67 @@
+"""Unit tests for trace file I/O."""
+
+import pytest
+
+from repro.traces.filefmt import TraceFormatError, iter_trace, read_trace, write_trace
+from repro.traces.record import OpKind, TraceRecord
+
+
+@pytest.fixture
+def records():
+    return [
+        TraceRecord(OpKind.READ, 100),
+        TraceRecord(OpKind.WRITE, 200),
+        TraceRecord(OpKind.WRITE, 0),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, records):
+        path = tmp_path / "trace.txt"
+        count = write_trace(path, records)
+        assert count == 3
+        assert read_trace(path) == records
+
+    def test_iter_streams(self, tmp_path, records):
+        path = tmp_path / "trace.txt"
+        write_trace(path, records)
+        assert list(iter_trace(path)) == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_trace(path, [])
+        assert read_trace(path) == []
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n\nR 5\n   \nW 6\n")
+        assert read_trace(path) == [
+            TraceRecord(OpKind.READ, 5),
+            TraceRecord(OpKind.WRITE, 6),
+        ]
+
+    def test_bad_op_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("X 5\n")
+        with pytest.raises(TraceFormatError, match="unknown op"):
+            read_trace(path)
+
+    def test_bad_lbn_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("R five\n")
+        with pytest.raises(TraceFormatError, match="bad block number"):
+            read_trace(path)
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("R 5 extra\n")
+        with pytest.raises(TraceFormatError, match="expected"):
+            read_trace(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("R 1\nbroken\n")
+        with pytest.raises(TraceFormatError, match=":2:"):
+            read_trace(path)

@@ -1,0 +1,122 @@
+"""Unit tests for planes and the flash chip (timing, wear, free lists)."""
+
+import pytest
+
+from repro.errors import InvalidAddressError, WriteToNonErasedPageError
+from repro.flash.block import BlockKind
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.page import OOBData, PageState
+
+
+@pytest.fixture
+def tiny_chip():
+    return FlashChip(FlashGeometry(planes=2, blocks_per_plane=4, pages_per_block=4))
+
+
+class TestPlane:
+    def test_all_blocks_start_free(self, tiny_chip):
+        for plane in tiny_chip.planes:
+            assert plane.free_count == plane.num_blocks
+
+    def test_allocate_assigns_kind(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        block = plane.allocate(BlockKind.LOG)
+        assert block.kind is BlockKind.LOG
+        assert plane.free_count == plane.num_blocks - 1
+        assert not plane.is_free(block.pbn)
+
+    def test_allocate_exhaustion(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        for _ in range(plane.num_blocks):
+            plane.allocate(BlockKind.DATA)
+        with pytest.raises(IndexError):
+            plane.allocate(BlockKind.DATA)
+
+    def test_release_requires_erased(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        block = plane.allocate(BlockKind.DATA)
+        with pytest.raises(ValueError):
+            plane.release(block)
+
+    def test_release_foreign_block_rejected(self, tiny_chip):
+        plane0, plane1 = tiny_chip.planes
+        block = plane1.allocate(BlockKind.DATA)
+        block.erase()
+        with pytest.raises(InvalidAddressError):
+            plane0.release(block)
+
+    def test_blocks_of_kind(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        plane.allocate(BlockKind.LOG)
+        plane.allocate(BlockKind.DATA)
+        assert len(list(plane.blocks_of_kind(BlockKind.LOG))) == 1
+        assert len(list(plane.blocks_of_kind(BlockKind.DATA))) == 1
+
+
+class TestChipOperations:
+    def test_program_and_read_round_trip(self, tiny_chip):
+        oob = OOBData(lbn=42, dirty=True, seq=1)
+        cost_w = tiny_chip.program_page(0, "payload", oob)
+        data, read_oob, cost_r = tiny_chip.read_page(0)
+        assert data == "payload"
+        assert read_oob.lbn == 42
+        assert cost_w == pytest.approx(tiny_chip.timing.write_cost())
+        assert cost_r == pytest.approx(tiny_chip.timing.read_cost())
+
+    def test_program_enforces_nand_order(self, tiny_chip):
+        tiny_chip.program_page(0, "a", OOBData(lbn=0))
+        with pytest.raises(WriteToNonErasedPageError):
+            tiny_chip.program_page(0, "b", OOBData(lbn=0))
+
+    def test_erase_returns_block_to_free_list(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        block = plane.allocate(BlockKind.LOG)
+        ppn = tiny_chip.geometry.make_ppn(block.pbn, 0)
+        tiny_chip.program_page(ppn, "x", OOBData(lbn=0))
+        free_before = plane.free_count
+        cost = tiny_chip.erase_block(block.pbn)
+        assert cost == pytest.approx(tiny_chip.timing.erase_cost())
+        assert plane.free_count == free_before + 1
+        assert tiny_chip.page(ppn).state is PageState.FREE
+
+    def test_stats_accumulate(self, tiny_chip):
+        tiny_chip.program_page(0, "x", OOBData(lbn=0))
+        tiny_chip.read_page(0)
+        tiny_chip.scan_oob(0)
+        assert tiny_chip.stats.page_writes == 1
+        assert tiny_chip.stats.page_reads == 1
+        assert tiny_chip.stats.oob_scans == 1
+        assert tiny_chip.stats.busy_us > 0
+
+    def test_seq_monotonic(self, tiny_chip):
+        values = [tiny_chip.next_seq() for _ in range(10)]
+        assert values == sorted(values)
+        assert len(set(values)) == 10
+
+
+class TestWearAccounting:
+    def test_total_erases(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        block = plane.allocate(BlockKind.DATA)
+        tiny_chip.erase_block(block.pbn)
+        block2 = plane.allocate(BlockKind.DATA)
+        tiny_chip.erase_block(block2.pbn)
+        assert tiny_chip.total_erases() == 2
+
+    def test_wear_differential(self, tiny_chip):
+        plane = tiny_chip.planes[0]
+        block = plane.allocate(BlockKind.DATA)
+        for _ in range(3):
+            tiny_chip.erase_block(block.pbn)
+            # Re-allocate the same block: FIFO free list makes it come
+            # back eventually; force it directly for the test.
+            plane._free.remove(block.pbn)
+            block.kind = BlockKind.DATA
+        assert tiny_chip.wear_differential() == 3
+
+    def test_free_blocks_total(self, tiny_chip):
+        total = tiny_chip.geometry.total_blocks
+        assert tiny_chip.free_blocks_total() == total
+        tiny_chip.planes[0].allocate(BlockKind.DATA)
+        assert tiny_chip.free_blocks_total() == total - 1

@@ -1,0 +1,97 @@
+"""Unit tests for repro.util.lru."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.lru import LRUList
+
+
+class TestOrdering:
+    def test_empty(self):
+        lru = LRUList()
+        assert len(lru) == 0
+        assert lru.lru() is None
+        assert lru.mru() is None
+        assert lru.pop_lru() is None
+
+    def test_single_element(self):
+        lru = LRUList()
+        lru.touch(7)
+        assert lru.lru() == 7
+        assert lru.mru() == 7
+        assert 7 in lru
+
+    def test_touch_order(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.mru() == 3
+        assert lru.lru() == 1
+
+    def test_touch_moves_to_front(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        lru.touch(1)
+        assert lru.mru() == 1
+        assert lru.lru() == 2
+
+    def test_pop_lru_removes_oldest(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.pop_lru() == 1
+        assert lru.pop_lru() == 2
+        assert lru.pop_lru() == 3
+        assert lru.pop_lru() is None
+
+    def test_remove_middle(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.remove(2)
+        assert list(lru.iter_lru_to_mru()) == [1, 3]
+
+    def test_remove_head_and_tail(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.remove(3)  # head (MRU)
+        assert lru.mru() == 2
+        assert lru.remove(1)  # tail (LRU)
+        assert lru.lru() == 2
+
+    def test_remove_absent_returns_false(self):
+        lru = LRUList()
+        assert not lru.remove(42)
+
+    def test_iter_snapshot_allows_removal(self):
+        lru = LRUList()
+        for key in range(5):
+            lru.touch(key)
+        for key in lru.iter_lru_to_mru():
+            lru.remove(key)
+        assert len(lru) == 0
+
+    def test_clear(self):
+        lru = LRUList()
+        lru.touch(1)
+        lru.clear()
+        assert len(lru) == 0
+        assert 1 not in lru
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20)))
+def test_property_matches_reference_model(operations):
+    """LRUList must order keys exactly like an ordered-dict reference."""
+    lru = LRUList()
+    reference = {}
+    for key in operations:
+        lru.touch(key)
+        reference.pop(key, None)
+        reference[key] = True
+    expected_lru_to_mru = list(reference)
+    assert list(lru.iter_lru_to_mru()) == expected_lru_to_mru
+    assert len(lru) == len(reference)
+    if reference:
+        assert lru.lru() == expected_lru_to_mru[0]
+        assert lru.mru() == expected_lru_to_mru[-1]

@@ -1,0 +1,164 @@
+"""Unit tests for the native (FlashCache-style) cache manager."""
+
+import random
+
+import pytest
+
+from repro.disk.model import Disk
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.ssd import SSD
+from repro.manager.native import HOST_ENTRY_BYTES, NativeCacheManager, NativeConfig
+
+
+def make_native(mode="wb", consistency=True, disk_blocks=100_000, **kwargs):
+    geometry = FlashGeometry(planes=4, blocks_per_plane=32, pages_per_block=16)
+    ssd = SSD(geometry=geometry)
+    disk = Disk(disk_blocks)
+    config = NativeConfig(mode=mode, consistency=consistency, **kwargs)
+    return NativeCacheManager(ssd, disk, config), ssd, disk
+
+
+class TestConfig:
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError):
+            NativeConfig(mode="weird")
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ConfigError):
+            NativeConfig(dirty_threshold=0.0)
+        with pytest.raises(ConfigError):
+            NativeConfig(meta_fraction=0.9)
+
+
+class TestWriteBack:
+    def test_read_miss_populates_cache(self):
+        manager, ssd, disk = make_native()
+        disk.write(42, "on-disk")
+        data, _ = manager.read(42)
+        assert data == "on-disk"
+        assert manager.stats.read_misses == 1
+        data, _ = manager.read(42)
+        assert data == "on-disk"
+        assert manager.stats.read_hits == 1
+
+    def test_write_goes_to_ssd_only(self):
+        manager, ssd, disk = make_native()
+        manager.write(42, "dirty")
+        assert disk.peek(42) is None  # not written back yet
+        data, _ = manager.read(42)
+        assert data == "dirty"
+
+    def test_dirty_block_written_back_on_eviction(self):
+        manager, ssd, disk = make_native(set_size=4)
+        rng = random.Random(1)
+        shadow = {}
+        for i in range(5000):
+            lbn = rng.randrange(50_000)
+            shadow[lbn] = ("w", lbn, i)
+            manager.write(lbn, shadow[lbn])
+        # Every block must be readable with its newest value, from
+        # wherever it now lives.
+        for lbn, expected in list(shadow.items())[:500]:
+            data, _ = manager.read(lbn)
+            assert data == expected
+
+    def test_dirty_threshold_enforced(self):
+        manager, ssd, disk = make_native(dirty_threshold=0.05)
+        rng = random.Random(2)
+        for i in range(3000):
+            manager.write(rng.randrange(20_000), i)
+        limit = int(0.05 * manager.data_pages)
+        assert manager.dirty_blocks() <= limit + 64  # cleaning is batched
+        assert manager.stats.writebacks > 0
+
+    def test_flush_dirty_writes_everything_back(self):
+        manager, ssd, disk = make_native()
+        for lbn in range(20):
+            manager.write(lbn, ("d", lbn))
+        manager.flush_dirty()
+        assert manager.dirty_blocks() == 0
+        for lbn in range(20):
+            assert disk.peek(lbn) == ("d", lbn)
+
+    def test_metadata_writes_happen_with_consistency(self):
+        manager, _ssd, _disk = make_native(consistency=True)
+        for lbn in range(50):
+            manager.write(lbn, lbn)
+        assert manager.stats.metadata_writes > 0
+
+    def test_no_metadata_without_consistency(self):
+        manager, _ssd, _disk = make_native(consistency=False)
+        for lbn in range(50):
+            manager.write(lbn, lbn)
+        assert manager.stats.metadata_writes == 0
+
+    def test_consistency_costs_time(self):
+        with_c, _, _ = make_native(consistency=True)
+        without_c, _, _ = make_native(consistency=False)
+        rng = random.Random(3)
+        sequence = [rng.randrange(10_000) for _ in range(1500)]
+        cost_with = sum(with_c.write(lbn, 1) for lbn in sequence)
+        cost_without = sum(without_c.write(lbn, 1) for lbn in sequence)
+        assert cost_with > cost_without
+
+
+class TestWriteThrough:
+    def test_write_hits_disk_and_cache(self):
+        manager, ssd, disk = make_native(mode="wt")
+        manager.write(42, "both")
+        assert disk.peek(42) == "both"
+        data, _ = manager.read(42)
+        assert data == "both"
+        assert manager.stats.read_hits == 1
+
+    def test_wt_never_persists_metadata(self):
+        manager, _ssd, _disk = make_native(mode="wt")
+        for lbn in range(100):
+            manager.write(lbn, lbn)
+        assert manager.stats.metadata_writes == 0
+
+    def test_wt_has_no_dirty_blocks(self):
+        manager, _ssd, _disk = make_native(mode="wt")
+        for lbn in range(100):
+            manager.write(lbn, lbn)
+        assert manager.dirty_blocks() == 0
+
+
+class TestMemoryAndRecovery:
+    def test_host_memory_formula(self):
+        manager, _ssd, _disk = make_native()
+        for lbn in range(100):
+            manager.write(lbn, lbn)
+        assert manager.host_memory_bytes() == manager.cached_blocks() * HOST_ENTRY_BYTES
+
+    def test_recover_manager_scales_with_cache(self):
+        small, _, _ = make_native()
+        for lbn in range(50):
+            small.write(lbn, lbn)
+        large, _, _ = make_native()
+        for lbn in range(1500):
+            large.write(lbn, lbn)
+        assert large.recover_manager_us() > small.recover_manager_us()
+
+    def test_device_oob_scan_slowest(self):
+        """Fig. 5's ordering: OOB device scan >> manager metadata read."""
+        manager, _ssd, _disk = make_native()
+        for lbn in range(500):
+            manager.write(lbn, lbn)
+        assert manager.recover_device_us() > manager.recover_manager_us()
+
+
+class TestIntegrity:
+    def test_mixed_workload_integrity(self):
+        manager, _ssd, disk = make_native(set_size=8)
+        rng = random.Random(4)
+        shadow = {}
+        for i in range(6000):
+            lbn = rng.randrange(30_000)
+            if rng.random() < 0.7:
+                shadow[lbn] = ("v", i)
+                manager.write(lbn, shadow[lbn])
+            else:
+                data, _ = manager.read(lbn)
+                assert data == shadow.get(lbn)

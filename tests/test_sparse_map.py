@@ -1,0 +1,180 @@
+"""Unit and property tests for the sparse hash map (paper §4.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.ftl.mapping import ENTRY_BYTES
+from repro.ssc.sparse_map import GROUP_OVERHEAD_BYTES, SparseHashMap
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        table = SparseHashMap()
+        assert table.lookup(42) is None
+        assert 42 not in table
+        assert len(table) == 0
+
+    def test_insert_lookup(self):
+        table = SparseHashMap()
+        assert table.insert(42, 7) is None
+        assert table.lookup(42) == 7
+        assert 42 in table
+        assert len(table) == 1
+
+    def test_insert_replace_returns_previous(self):
+        table = SparseHashMap()
+        table.insert(42, 7)
+        assert table.insert(42, 8) == 7
+        assert table.lookup(42) == 8
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = SparseHashMap()
+        table.insert(42, 7)
+        assert table.remove(42) == 7
+        assert table.lookup(42) is None
+        assert table.remove(42) is None
+        assert len(table) == 0
+
+    def test_sparse_keys(self):
+        """Keys spanning a huge sparse space (the SSC's whole point)."""
+        table = SparseHashMap()
+        keys = [0, 10**6, 10**12, 10**15 + 3]
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        for index, key in enumerate(keys):
+            assert table.lookup(key) == index
+
+    def test_items_and_keys(self):
+        table = SparseHashMap()
+        expected = {i * 1000: i for i in range(50)}
+        for key, value in expected.items():
+            table.insert(key, value)
+        assert dict(table.items()) == expected
+        assert set(table.keys()) == set(expected)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            SparseHashMap(group_size=0)
+        with pytest.raises(ConfigError):
+            SparseHashMap(group_size=65)
+        with pytest.raises(ConfigError):
+            SparseHashMap(max_load=1.0)
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        table = SparseHashMap(initial_buckets=64)
+        for key in range(1000):
+            table.insert(key, key * 2)
+        assert len(table) == 1000
+        assert table.buckets >= 1000
+        for key in range(1000):
+            assert table.lookup(key) == key * 2
+
+    def test_load_factor_respected(self):
+        table = SparseHashMap(initial_buckets=64, max_load=0.5)
+        for key in range(100):
+            table.insert(key, key)
+        assert len(table) / table.buckets <= 0.5
+
+
+class TestDeletionRepair:
+    def test_interleaved_insert_remove(self):
+        """Heavy insert/remove churn (silent eviction's access pattern)."""
+        table = SparseHashMap(initial_buckets=64)
+        rng = random.Random(3)
+        shadow = {}
+        for step in range(20000):
+            key = rng.randrange(500)
+            if rng.random() < 0.5:
+                expected = shadow.get(key)
+                assert table.insert(key, step) == expected
+                shadow[key] = step
+            else:
+                assert table.remove(key) == shadow.pop(key, None)
+        assert len(table) == len(shadow)
+        for key, value in shadow.items():
+            assert table.lookup(key) == value
+
+    def test_remove_then_lookup_collision_chain(self):
+        """Entries behind a removed bucket must stay reachable."""
+        table = SparseHashMap(initial_buckets=64, max_load=0.9)
+        # Insert enough keys to force collision runs.
+        for key in range(50):
+            table.insert(key, key)
+        for key in range(0, 50, 2):
+            table.remove(key)
+        for key in range(1, 50, 2):
+            assert table.lookup(key) == key
+
+
+class TestProbeStats:
+    def test_mean_probes_small(self):
+        table = SparseHashMap()
+        for key in range(5000):
+            table.insert(key * 7919, key)
+        table.total_probes = table.total_lookups = 0
+        for key in range(5000):
+            table.lookup(key * 7919)
+        # Paper: "typically there are no more than 4-5 probes per lookup".
+        assert table.mean_probes() < 5.0
+
+
+class TestMemoryAccounting:
+    def test_grows_with_occupancy_not_capacity(self):
+        """The defining contrast with the dense SSD tables (§4.1): "the
+        size of the sparse hash map grows with the actual number of
+        entries, unlike a linear table indexed by an address"."""
+        table = SparseHashMap(initial_buckets=1 << 16)
+        empty = table.memory_bytes()
+        for key in range(100):
+            table.insert(key * 997, key)
+        assert table.memory_bytes() > empty
+        assert table.memory_bytes() <= 100 * (ENTRY_BYTES + 12) + empty
+
+    def test_per_entry_overhead_near_paper_figure(self):
+        """Bitmap + pointer overhead should be a few bytes per entry
+        (the paper quotes ~8.4 B/entry including the 8 B value)."""
+        table = SparseHashMap()
+        for key in range(10000):
+            table.insert(key * 31, key)
+        overhead = table.memory_bytes() - len(table) * ENTRY_BYTES
+        per_entry = overhead / len(table)
+        assert 0.0 < per_entry < 13.0
+
+    def test_allocated_groups_counted(self):
+        table = SparseHashMap(initial_buckets=1024)
+        assert table.allocated_groups == 0
+        table.insert(1, 1)
+        assert table.allocated_groups == 1
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove"]),
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=0, max_value=10**9),
+        ),
+        max_size=400,
+    )
+)
+def test_property_behaves_like_dict(operations):
+    """The sparse map must be observationally equal to a Python dict."""
+    table = SparseHashMap(initial_buckets=64)
+    shadow = {}
+    for action, key, value in operations:
+        if action == "insert":
+            assert table.insert(key, value) == shadow.get(key)
+            shadow[key] = value
+        else:
+            assert table.remove(key) == shadow.pop(key, None)
+    assert len(table) == len(shadow)
+    assert dict(table.items()) == shadow
+    for key, value in shadow.items():
+        assert table.lookup(key) == value

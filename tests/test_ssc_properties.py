@@ -1,0 +1,219 @@
+"""Property-based tests of the SSC's consistency contract (§3.5).
+
+A stateful hypothesis machine drives random interleavings of the six
+operations plus crash/recover against a shadow model, checking:
+
+1. dirty data is never lost (even across crashes);
+2. reads never return stale data — the value is always the newest write
+   or a not-present error;
+3. reads after evict fail;
+4. clean data may vanish only at a crash (buffered write-clean) or via
+   silent eviction — and then reads fail rather than reading old bytes.
+"""
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import CacheFullError, NotPresentError
+from repro.flash.geometry import FlashGeometry
+from repro.ssc.device import SolidStateCache, SSCConfig
+from repro.ssc.engine import EvictionPolicy
+
+# A compact address space so operations collide and GC triggers.
+ADDRESSES = st.integers(min_value=0, max_value=400)
+
+
+class SSCMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        geometry = FlashGeometry(planes=2, blocks_per_plane=16, pages_per_block=8)
+        self.ssc = SolidStateCache(
+            geometry,
+            config=SSCConfig(policy=EvictionPolicy.UTIL, group_commit_ops=20),
+        )
+        self.newest = {}       # lbn -> last value written
+        self.dirty = set()     # lbns whose newest write was dirty & not evicted
+        self.version = 0
+        self.crashed = False
+
+    # ---- operations ----------------------------------------------------
+
+    @precondition(lambda self: not self.crashed)
+    @rule(lbn=ADDRESSES)
+    def write_dirty(self, lbn):
+        self.version += 1
+        value = ("v", lbn, self.version)
+        try:
+            self.ssc.write_dirty(lbn, value)
+        except CacheFullError:
+            # Legal back-pressure; model a manager cleaning everything.
+            for dirty_lbn in list(self.dirty):
+                self.ssc.clean(dirty_lbn)
+            self.dirty.clear()
+            self.ssc.write_dirty(lbn, value)
+        self.newest[lbn] = value
+        self.dirty.add(lbn)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(lbn=ADDRESSES)
+    def write_clean(self, lbn):
+        self.version += 1
+        value = ("v", lbn, self.version)
+        try:
+            self.ssc.write_clean(lbn, value)
+        except CacheFullError:
+            for dirty_lbn in list(self.dirty):
+                self.ssc.clean(dirty_lbn)
+            self.dirty.clear()
+            self.ssc.write_clean(lbn, value)
+        self.newest[lbn] = value
+        self.dirty.discard(lbn)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(lbn=ADDRESSES)
+    def evict(self, lbn):
+        self.ssc.evict(lbn)
+        self.newest.pop(lbn, None)
+        self.dirty.discard(lbn)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(lbn=ADDRESSES)
+    def clean(self, lbn):
+        self.ssc.clean(lbn)
+        self.dirty.discard(lbn)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(lbn=ADDRESSES)
+    def read(self, lbn):
+        try:
+            data, _cost = self.ssc.read(lbn)
+        except NotPresentError:
+            # Guarantee 1: dirty data must be present.
+            assert lbn not in self.dirty, f"dirty block {lbn} went missing"
+            return
+        # Guarantee 2: never stale.  If the model says the block was
+        # evicted, the device must not still return data for it... but
+        # the device may only return the NEWEST value ever written.
+        assert lbn in self.newest, f"read of evicted block {lbn} returned data"
+        assert data == self.newest[lbn], (
+            f"stale read of {lbn}: got {data}, newest {self.newest[lbn]}"
+        )
+
+    @precondition(lambda self: not self.crashed)
+    @rule()
+    def checkpoint(self):
+        self.ssc.checkpoint_now()
+
+    @precondition(lambda self: not self.crashed)
+    @rule()
+    def crash(self):
+        self.ssc.crash()
+        self.crashed = True
+
+    @precondition(lambda self: self.crashed)
+    @rule()
+    def recover(self):
+        self.ssc.recover()
+        self.crashed = False
+        # Clean blocks with buffered mappings may have vanished; dirty
+        # blocks may have reverted from a buffered `clean` to dirty.
+        # Neither changes `newest`, which is what reads are checked
+        # against.  Blocks the model no longer tracks as dirty might be
+        # dirty again on-device; resync so future CacheFullError
+        # handling cleans them too.
+        dirty_on_device, _ = self.ssc.exists(0, 10**6)
+        self.dirty = {lbn for lbn in dirty_on_device if lbn in self.newest}
+
+    # ---- invariants -----------------------------------------------------
+
+    @invariant()
+    def dirty_blocks_always_readable(self):
+        if self.crashed:
+            return
+        # exists() must be a superset of the model's dirty set.
+        reported, _ = self.ssc.exists(0, 10**6)
+        missing = self.dirty - set(reported)
+        assert not missing, f"exists() lost dirty blocks {missing}"
+
+
+SSCMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
+TestSSCGuarantees = SSCMachine.TestCase
+
+
+class SSCRMachine(SSCMachine):
+    """The same contract must hold under the SE-Merge (SSC-R) policy."""
+
+    def __init__(self):
+        super().__init__()
+        geometry = FlashGeometry(planes=2, blocks_per_plane=16, pages_per_block=8)
+        self.ssc = SolidStateCache(
+            geometry,
+            config=SSCConfig(policy=EvictionPolicy.MERGE, group_commit_ops=20),
+        )
+
+
+SSCRMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=60, deadline=None
+)
+TestSSCRGuarantees = SSCRMachine.TestCase
+
+
+class TestCrashMatrix:
+    """Deterministic crash-point sweep: crash after every prefix of a
+    mixed operation sequence, recover, and check the guarantees."""
+
+    def build_script(self):
+        script = []
+        for i in range(60):
+            lbn = (i * 37) % 300
+            kind = i % 4
+            if kind == 0:
+                script.append(("dirty", lbn))
+            elif kind == 1:
+                script.append(("clean-write", lbn))
+            elif kind == 2:
+                script.append(("clean-cmd", lbn))
+            else:
+                script.append(("evict", lbn))
+        return script
+
+    @pytest.mark.parametrize("crash_after", [1, 5, 13, 27, 41, 59])
+    def test_crash_at_prefix(self, crash_after):
+        geometry = FlashGeometry(planes=2, blocks_per_plane=16, pages_per_block=8)
+        ssc = SolidStateCache.ssc(geometry)
+        newest, dirty = {}, set()
+        for index, (op, lbn) in enumerate(self.build_script()):
+            if op == "dirty":
+                ssc.write_dirty(lbn, ("v", index))
+                newest[lbn] = ("v", index)
+                dirty.add(lbn)
+            elif op == "clean-write":
+                ssc.write_clean(lbn, ("v", index))
+                newest[lbn] = ("v", index)
+                dirty.discard(lbn)
+            elif op == "clean-cmd":
+                ssc.clean(lbn)
+                dirty.discard(lbn)
+            else:
+                ssc.evict(lbn)
+                newest.pop(lbn, None)
+                dirty.discard(lbn)
+            if index == crash_after:
+                break
+        ssc.crash()
+        ssc.recover()
+        for lbn, expected in newest.items():
+            try:
+                data, _ = ssc.read(lbn)
+            except NotPresentError:
+                assert lbn not in dirty, f"dirty {lbn} lost at crash {crash_after}"
+                continue
+            assert data == expected

@@ -1,0 +1,52 @@
+"""Unit tests for the flash and disk timing models."""
+
+import pytest
+
+from repro.disk.model import DiskTimingModel
+from repro.errors import ConfigError
+from repro.flash.timing import TimingModel
+
+
+class TestFlashTiming:
+    def test_paper_parameters(self):
+        timing = TimingModel()
+        assert timing.page_read_us == 65.0
+        assert timing.page_write_us == 85.0
+        assert timing.block_erase_us == 1000.0
+        assert timing.bus_delay_us == 2.0
+        assert timing.control_delay_us == 10.0
+
+    def test_read_cost_includes_overheads(self):
+        timing = TimingModel()
+        assert timing.read_cost() == pytest.approx(65 + 2 + 10)
+
+    def test_write_cost_includes_overheads(self):
+        timing = TimingModel()
+        assert timing.write_cost() == pytest.approx(85 + 2 + 10)
+
+    def test_erase_cost(self):
+        timing = TimingModel()
+        assert timing.erase_cost() == pytest.approx(1010)
+
+    def test_oob_read_costs_full_page_read(self):
+        timing = TimingModel()
+        assert timing.oob_read_cost() == timing.read_cost()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingModel(page_read_us=-1)
+
+
+class TestDiskTiming:
+    def test_random_slower_than_sequential(self):
+        timing = DiskTimingModel()
+        assert timing.random_cost() > 10 * timing.sequential_cost()
+
+    def test_random_cost_in_paper_band(self):
+        # Table 1 puts disk latency at 500-5000 us.
+        timing = DiskTimingModel()
+        assert 500 <= timing.random_cost() <= 5000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskTimingModel(seek_us=-1)
