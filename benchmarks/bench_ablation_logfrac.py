@@ -7,7 +7,7 @@ write amplification) but cost provisioned device memory for page-level
 mappings (the Table 4 trade-off).
 """
 
-from repro import CacheMode, SystemConfig, SystemKind, build_system
+from repro import CacheMode, SystemKind
 from repro.core.flashtier import cache_geometry
 from repro.disk.model import Disk
 from repro.manager.writethrough import FlashTierWTManager

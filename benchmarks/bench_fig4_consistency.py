@@ -10,7 +10,7 @@ Expected shape: on write-heavy homes/mail the native system loses
 read-heavy usr/proj every system loses <= ~7 %.
 """
 
-from repro import CacheMode, SystemConfig, SystemKind, build_system
+from repro import CacheMode, SystemKind
 from repro.ssc.device import SSCConfig, SolidStateCache
 from repro.ssc.engine import EvictionPolicy
 from repro.core.flashtier import cache_geometry

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro import CacheMode, SystemConfig, SystemKind, build_system
 from repro.core.flashtier import FlashTierSystem
@@ -66,12 +66,21 @@ def run_workload(
     mode: CacheMode,
     consistency: bool = True,
     cache_fraction: float = 0.25,
+    queue_depth: int = 1,
 ) -> Tuple[FlashTierSystem, ReplayStats]:
-    """Build a system, replay the trace with warm-up, return both."""
+    """Build a system, replay the trace with warm-up, return both.
+
+    ``queue_depth`` > 1 replays through the event-driven engine with
+    that many requests outstanding (closed loop).
+    """
     system = build_system(
         system_config(trace, kind, mode, consistency, cache_fraction)
     )
-    stats = system.replay(trace.records, warmup_fraction=WARMUP_FRACTION)
+    stats = system.replay(
+        trace.records,
+        warmup_fraction=WARMUP_FRACTION,
+        queue_depth=queue_depth,
+    )
     return system, stats
 
 

@@ -16,6 +16,8 @@ Saxena, Swift and Zhang.  The package provides:
 * :mod:`repro.disk`, :mod:`repro.traces`, :mod:`repro.sim`,
   :mod:`repro.stats` — the disk tier, synthetic Table 3 workloads,
   simulation kernel, and measurement plumbing;
+* :mod:`repro.engine` — the event-driven replay engine (closed-loop
+  queue-depth and open-loop arrival-timed replay);
 * :mod:`repro.core` — one-call assembly of complete systems.
 
 Quickstart::
@@ -39,6 +41,7 @@ from repro.core import (
     SystemKind,
     build_system,
 )
+from repro.engine import ReplayEngine
 from repro.errors import (
     CacheFullError,
     ConfigError,
@@ -51,6 +54,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "build_system",
+    "ReplayEngine",
     "FlashTierSystem",
     "SystemConfig",
     "SystemKind",

@@ -131,17 +131,36 @@ def cmd_replay(args) -> int:
     records = _load_records(args)
     kind = SystemKind(args.system)
     system = build_system(_system_config(args, kind, records))
-    stats = system.replay(records, warmup_fraction=args.warmup)
+    stats = system.replay(
+        records,
+        warmup_fraction=args.warmup,
+        queue_depth=args.queue_depth,
+        open_loop=args.open_loop,
+    )
     device = system.device_stats
-    print(f"system:              {kind.value} ({args.mode})")
+    loop = "open loop" if args.open_loop else f"QD={stats.queue_depth}"
+    print(f"system:              {kind.value} ({args.mode}, {loop})")
     print(f"requests measured:   {stats.ops:,}")
     print(f"IOPS:                {stats.iops():,.0f}")
     print(f"mean latency:        {stats.latency.mean_us:.0f} us")
+    print(f"  service time:      {stats.service.mean_us:.0f} us")
+    print(f"  queueing delay:    {stats.queue_wait.mean_us:.0f} us")
     print(f"read miss rate:      {stats.miss_rate():.1f} %")
     print(f"write amplification: {device.write_amplification():.2f}")
     print(f"erases:              {system.device.chip.total_erases():,}")
     print(f"device memory:       {system.device.device_memory_bytes() / 1024:.0f} KiB")
     print(f"host memory:         {system.manager.host_memory_bytes() / 1024:.1f} KiB")
+    utilization = stats.utilization()
+    if utilization:
+        disk_util = utilization.get("disk", 0.0)
+        plane_utils = [
+            value for key, value in utilization.items() if key.startswith("plane:")
+        ]
+        if plane_utils:
+            mean_plane = sum(plane_utils) / len(plane_utils)
+            print(f"plane utilization:   {100 * mean_plane:.1f} % "
+                  f"(mean of {len(plane_utils)} active planes)")
+        print(f"disk utilization:    {100 * disk_util:.1f} %")
     return 0
 
 
@@ -219,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--warmup", type=float, default=0.15)
     replay.add_argument("--no-consistency", action="store_true")
+    replay.add_argument(
+        "--queue-depth", type=int, default=1,
+        help="outstanding requests in closed-loop replay (default 1)",
+    )
+    replay.add_argument(
+        "--open-loop", action="store_true",
+        help="dispatch at recorded arrival_us timestamps instead",
+    )
     replay.set_defaults(func=cmd_replay)
 
     compare = subparsers.add_parser("compare", help="native vs SSC vs SSC-R")

@@ -63,13 +63,33 @@ class FlashTierSystem:
         trace: Sequence[TraceRecord],
         warmup_fraction: float = 0.0,
         keep_latencies: bool = False,
+        queue_depth: int = 1,
+        open_loop: bool = False,
     ) -> ReplayStats:
-        """Replay ``trace`` through this system's manager."""
-        return replay_trace(
-            self.manager,
+        """Replay ``trace`` through this system's manager.
+
+        ``queue_depth`` > 1 keeps that many requests outstanding
+        (closed loop); ``open_loop=True`` instead dispatches at each
+        record's ``arrival_us``.  Both run through the event-driven
+        :class:`~repro.engine.ReplayEngine`; the default serial path is
+        the legacy one-at-a-time loop, which the engine reproduces
+        bit-for-bit at ``queue_depth=1``.
+        """
+        if queue_depth == 1 and not open_loop:
+            return replay_trace(
+                self.manager,
+                trace,
+                warmup_fraction=warmup_fraction,
+                keep_latencies=keep_latencies,
+            )
+        from repro.engine import ReplayEngine
+
+        engine = ReplayEngine(self.manager, queue_depth=queue_depth)
+        return engine.run(
             trace,
             warmup_fraction=warmup_fraction,
             keep_latencies=keep_latencies,
+            open_loop=open_loop,
         )
 
     def total_memory_bytes(self) -> int:

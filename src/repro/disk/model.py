@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigError, InvalidAddressError
+from repro.sim.completion import DISK_RESOURCE, OpRecorder
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,10 @@ class Disk:
         self.capacity_blocks = capacity_blocks
         self.timing = timing or DiskTimingModel()
         self.stats = DiskStats()
+        self.op_recorder = OpRecorder()
+        # One spindle: the disk serves a single request at a time, so
+        # concurrent cache misses queue behind each other here.
+        self.busy_until_us = 0.0
         self._data: Dict[int, Any] = {}
         self._head_at: Optional[int] = None  # block after the last access
 
@@ -91,6 +96,7 @@ class Disk:
         cost = self._access_cost(lbn)
         self.stats.reads += 1
         self.stats.busy_us += cost
+        self.op_recorder.record(DISK_RESOURCE, "read", cost)
         return self._data.get(lbn), cost
 
     def write(self, lbn: int, data: Any) -> float:
@@ -99,8 +105,21 @@ class Disk:
         cost = self._access_cost(lbn)
         self.stats.writes += 1
         self.stats.busy_us += cost
+        self.op_recorder.record(DISK_RESOURCE, "write", cost)
         self._data[lbn] = data
         return cost
+
+    def reserve(self, start_us: float, duration_us: float):
+        """Claim the spindle for ``duration_us``, no earlier than
+        ``start_us``; returns ``(actual_start_us, finish_us)``."""
+        start = start_us if start_us >= self.busy_until_us else self.busy_until_us
+        finish = start + duration_us
+        self.busy_until_us = finish
+        return start, finish
+
+    def reset_busy(self) -> None:
+        """Forget availability history (new measurement epoch)."""
+        self.busy_until_us = 0.0
 
     def peek(self, lbn: int) -> Any:
         """Read contents without timing cost (test/verification helper)."""

@@ -1,0 +1,10 @@
+"""Event-driven replay engine.
+
+Replays traces through a cache manager with multiple requests in
+flight: closed-loop at a fixed queue depth, or open-loop from recorded
+arrival timestamps.  See :mod:`repro.engine.replay`.
+"""
+
+from repro.engine.replay import ReplayEngine
+
+__all__ = ["ReplayEngine"]

@@ -1,0 +1,247 @@
+"""Event-driven trace replay: queue-depth concurrency over planes.
+
+The legacy :func:`~repro.traces.replay.replay_trace` loop is strictly
+serial — one request in flight, IOPS capped at 1/mean-latency no matter
+how many flash planes the device has.  The :class:`ReplayEngine` drives
+the same cache manager but models *concurrent* requests:
+
+* **Closed loop** — a fixed number of requests (``queue_depth``) is
+  kept outstanding; each completion immediately dispatches the next
+  trace record, like a benchmark thread pool.
+* **Open loop** — requests dispatch at their recorded
+  ``arrival_us`` timestamps regardless of completions, like replaying
+  a production trace against a faster device.
+
+Each request's :class:`~repro.sim.completion.Completion` carries the
+operations it performed, attributed to contended resources (flash
+planes, the disk spindle).  The engine schedules those operations onto
+per-resource availability timelines: ops on distinct planes overlap,
+ops on the same plane — or on the single disk spindle — queue behind
+each other, and any service time not bound to a resource (controller
+delays, log commits, checkpoints) stays serial within its request.
+
+Functional device state still mutates in trace order at dispatch time
+(the hit/miss sequence is identical at every queue depth); concurrency
+changes *when* the time is charged, not *what* happens.  At
+``queue_depth=1`` the engine reproduces the serial replay loop's
+results bit-for-bit: with one request outstanding nothing can queue,
+so each request starts exactly when its predecessor finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.manager.base import CacheManager
+from repro.sim.clock import SimClock
+from repro.sim.completion import Completion, is_plane_resource
+from repro.sim.events import EventScheduler
+from repro.stats.counters import LatencyStats, ReplayStats
+from repro.traces.record import TraceRecord
+from repro.traces.replay import _issue
+
+
+class _FallbackResource:
+    """Availability timeline for a resource the engine cannot map onto
+    a device object (forward compatibility with new resource keys)."""
+
+    __slots__ = ("busy_until_us",)
+
+    def __init__(self):
+        self.busy_until_us = 0.0
+
+    def reserve(self, start_us: float, duration_us: float):
+        start = start_us if start_us >= self.busy_until_us else self.busy_until_us
+        finish = start + duration_us
+        self.busy_until_us = finish
+        return start, finish
+
+    def reset_busy(self) -> None:
+        self.busy_until_us = 0.0
+
+
+class ReplayEngine:
+    """Replays traces through a manager at a configurable queue depth."""
+
+    def __init__(
+        self,
+        manager: CacheManager,
+        queue_depth: int = 1,
+        clock: Optional[SimClock] = None,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.manager = manager
+        self.queue_depth = queue_depth
+        self.clock = clock or SimClock()
+        self._chip = self._find_chip(manager)
+        self._disk = getattr(manager, "disk", None)
+        self._resources: Dict[str, Any] = {}
+
+    @staticmethod
+    def _find_chip(manager: CacheManager):
+        for attr in ("ssc", "ssd"):
+            device = getattr(manager, attr, None)
+            if device is not None and hasattr(device, "chip"):
+                return device.chip
+        return None
+
+    def _resource(self, key: str):
+        """Map a resource key to its availability timeline."""
+        resource = self._resources.get(key)
+        if resource is not None:
+            return resource
+        if key == "disk" and self._disk is not None:
+            resource = self._disk
+        elif is_plane_resource(key) and self._chip is not None:
+            plane_id = int(key.split(":", 1)[1])
+            planes = self._chip.planes
+            resource = planes[plane_id] if plane_id < len(planes) else _FallbackResource()
+        else:
+            resource = _FallbackResource()
+        self._resources[key] = resource
+        return resource
+
+    def _reset_availability(self) -> None:
+        """Start a measurement epoch with every resource idle."""
+        if self._chip is not None:
+            self._chip.reset_availability()
+        if self._disk is not None and hasattr(self._disk, "reset_busy"):
+            self._disk.reset_busy()
+        for resource in self._resources.values():
+            if isinstance(resource, _FallbackResource):
+                resource.reset_busy()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        completion: Completion,
+        at_us: float,
+        stats: ReplayStats,
+        serial: bool,
+    ):
+        """Place one request's operations on the resource timelines.
+
+        Returns ``(queue_wait_us, finish_us)``.  ``queue_wait_us`` is
+        the total time the request's operations spent waiting for busy
+        resources; untraced service time (controller/log overhead) is
+        serial within the request and never waits.
+        """
+        if serial:
+            # One outstanding request: every resource is idle at
+            # dispatch by construction, so the request runs exactly as
+            # in serial replay — finish is computed from the total
+            # service time alone, which is what makes queue_depth=1
+            # reproduce replay_trace() bit-for-bit.
+            for op in completion.ops:
+                stats.add_busy(op.resource, op.duration_us)
+            return 0.0, at_us + float(completion)
+        wait_us = 0.0
+        cursor = at_us
+        for op in completion.ops:
+            start, finish = self._resource(op.resource).reserve(
+                cursor, op.duration_us
+            )
+            wait_us += start - cursor
+            cursor = finish
+            stats.add_busy(op.resource, op.duration_us)
+        return wait_us, at_us + wait_us + float(completion)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Sequence[TraceRecord],
+        warmup_fraction: float = 0.0,
+        keep_latencies: bool = False,
+        open_loop: bool = False,
+    ) -> ReplayStats:
+        """Replay ``trace``; returns measured statistics.
+
+        The first ``warmup_fraction`` of requests warm the cache
+        without timing.  In closed-loop mode (default) ``queue_depth``
+        requests are kept outstanding; with ``open_loop=True`` every
+        measured record must carry an ``arrival_us`` timestamp and is
+        dispatched at its recorded arrival instead.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        warmup_ops = int(len(trace) * warmup_fraction)
+
+        stats = ReplayStats(
+            queue_depth=self.queue_depth,
+            latency=LatencyStats(keep_samples=keep_latencies),
+        )
+        scheduler = EventScheduler(self.clock)
+        hits_before = self.manager.stats.read_hits
+        misses_before = self.manager.stats.read_misses
+        start_us = self.clock.now_us
+        arrival_origin: Optional[float] = None
+        dispatch_us = start_us
+        end_us = start_us
+
+        for index, record in enumerate(trace):
+            if index == warmup_ops:
+                # Measurement starts here: warm-up consumed no simulated
+                # time, every resource timeline starts idle.
+                self._reset_availability()
+                hits_before = self.manager.stats.read_hits
+                misses_before = self.manager.stats.read_misses
+                start_us = self.clock.now_us
+                dispatch_us = start_us
+            if index < warmup_ops:
+                _issue(self.manager, record)
+                continue
+
+            dispatch_wait_us = 0.0
+            if open_loop:
+                if record.arrival_us is None:
+                    raise ValueError(
+                        "open-loop replay requires arrival_us on every "
+                        f"measured record (record {index} has none)"
+                    )
+                if arrival_origin is None:
+                    arrival_origin = record.arrival_us
+                arrival = start_us + (record.arrival_us - arrival_origin)
+                # Records dispatch in trace order; a late predecessor
+                # delays this request past its arrival.
+                dispatch_us = max(dispatch_us, arrival)
+                dispatch_wait_us = dispatch_us - arrival
+            elif len(scheduler) >= self.queue_depth:
+                freed = scheduler.pop()
+                dispatch_us = max(dispatch_us, freed.time_us)
+
+            completion = _issue(self.manager, record)
+            wait_us, finish_us = self._execute(
+                completion, dispatch_us, stats, serial=not open_loop and self.queue_depth == 1
+            )
+            wait_us += dispatch_wait_us
+            scheduler.schedule_at(max(finish_us, self.clock.now_us))
+            if finish_us > end_us:
+                end_us = finish_us
+
+            stats.ops += 1
+            if record.is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+            latency_us = wait_us + float(completion)
+            stats.latency.record(latency_us)
+            stats.service.record(float(completion))
+            stats.queue_wait.record(wait_us)
+
+        # Drain: run simulated time forward to the last completion.
+        while scheduler:
+            scheduler.pop()
+        if end_us > self.clock.now_us:
+            self.clock.advance_to(end_us)
+
+        stats.elapsed_us = self.clock.now_us - start_us
+        stats.read_hits = self.manager.stats.read_hits - hits_before
+        stats.read_misses = self.manager.stats.read_misses - misses_before
+        return stats

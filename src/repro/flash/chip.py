@@ -17,6 +17,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.page import OOBData, Page, PageState
 from repro.flash.plane import Plane
 from repro.flash.timing import TimingModel
+from repro.sim.completion import OpRecorder, plane_resource
 
 
 @dataclass
@@ -51,6 +52,10 @@ class FlashChip:
         self.geometry = geometry or FlashGeometry()
         self.timing = timing or TimingModel()
         self.stats = FlashStats()
+        # Per-request op tracing: a cache manager shares one recorder
+        # across its chip and disk so completions carry the full,
+        # in-order operation trace of each request.
+        self.op_recorder = OpRecorder()
         self.planes: List[Plane] = []
         pages = self.geometry.pages_per_block
         for plane_id in range(self.geometry.planes):
@@ -83,6 +88,19 @@ class FlashChip:
         self._write_seq += 1
         return self._write_seq
 
+    def _plane_id_of_ppn(self, ppn: int) -> int:
+        return ppn // self.geometry.pages_per_block // self.geometry.blocks_per_plane
+
+    def _record_op(self, plane_id: int, kind: str, cost: float) -> None:
+        self.op_recorder.record(plane_resource(plane_id), kind, cost)
+
+    # ---- availability ------------------------------------------------------
+
+    def reset_availability(self) -> None:
+        """Zero every plane's busy-until time (new measurement epoch)."""
+        for plane in self.planes:
+            plane.reset_busy()
+
     # ---- timed operations -------------------------------------------------
 
     def read_page(self, ppn: int) -> Tuple[Any, Optional[OOBData], float]:
@@ -96,6 +114,8 @@ class FlashChip:
         cost = self.timing.read_cost()
         self.stats.page_reads += 1
         self.stats.busy_us += cost
+        if self.op_recorder.active:
+            self._record_op(self._plane_id_of_ppn(ppn), "page_read", cost)
         return page.data, page.oob, cost
 
     def program_page(self, ppn: int, data: Any, oob: OOBData) -> float:
@@ -112,6 +132,8 @@ class FlashChip:
         cost = self.timing.write_cost()
         self.stats.page_writes += 1
         self.stats.busy_us += cost
+        if self.op_recorder.active:
+            self._record_op(pbn // self.geometry.blocks_per_plane, "page_write", cost)
         return cost
 
     def erase_block(self, pbn: int) -> float:
@@ -122,6 +144,8 @@ class FlashChip:
         cost = self.timing.erase_cost()
         self.stats.block_erases += 1
         self.stats.busy_us += cost
+        if self.op_recorder.active:
+            self._record_op(pbn // self.geometry.blocks_per_plane, "erase", cost)
         return cost
 
     def scan_oob(self, ppn: int) -> Tuple[Optional[OOBData], "PageState", float]:
@@ -130,6 +154,8 @@ class FlashChip:
         cost = self.timing.oob_read_cost()
         self.stats.oob_scans += 1
         self.stats.busy_us += cost
+        if self.op_recorder.active:
+            self._record_op(self._plane_id_of_ppn(ppn), "oob_scan", cost)
         return page.oob, page.state, cost
 
     # ---- wear accounting ----------------------------------------------------

@@ -16,12 +16,21 @@ from repro.flash.block import BlockKind, EraseBlock
 
 
 class Plane:
-    """One flash plane: a block range plus a FIFO free list."""
+    """One flash plane: a block range plus a FIFO free list.
+
+    Planes are also the unit of *parallelism*: a plane executes one
+    operation at a time, so ``busy_until_us`` tracks when it next
+    becomes available.  Operations on distinct planes may overlap in
+    simulated time; operations on the same plane queue behind each
+    other (the event-driven replay engine enforces this via
+    :meth:`reserve`).
+    """
 
     def __init__(self, plane_id: int, blocks: List[EraseBlock]):
         self.plane_id = plane_id
         self.blocks: Dict[int, EraseBlock] = {block.pbn: block for block in blocks}
         self._free: Deque[int] = deque(sorted(self.blocks))
+        self.busy_until_us = 0.0
 
     @property
     def num_blocks(self) -> int:
@@ -86,6 +95,23 @@ class Plane:
     def is_free(self, pbn: int) -> bool:
         """True if block ``pbn`` sits on this plane's free list."""
         return pbn in self._free
+
+    def reserve(self, start_us: float, duration_us: float):
+        """Claim this plane for ``duration_us``, no earlier than ``start_us``.
+
+        Returns ``(actual_start_us, finish_us)``: the operation begins
+        when both the requester is ready *and* the plane is free, so a
+        busy plane queues the operation while an idle one starts it
+        immediately.
+        """
+        start = start_us if start_us >= self.busy_until_us else self.busy_until_us
+        finish = start + duration_us
+        self.busy_until_us = finish
+        return start, finish
+
+    def reset_busy(self) -> None:
+        """Forget availability history (start of a measurement epoch)."""
+        self.busy_until_us = 0.0
 
     def blocks_of_kind(self, kind: BlockKind) -> Iterable[EraseBlock]:
         """Yield this plane's blocks currently assigned role ``kind``."""

@@ -1,10 +1,24 @@
-"""Cache-manager interface and shared statistics."""
+"""Cache-manager interface and shared statistics.
+
+``read``/``write`` return a :class:`~repro.sim.completion.Completion` —
+a ``float`` subclass whose value is the request's simulated service
+latency in microseconds, carrying the structured operation trace the
+event-driven replay engine schedules onto flash planes and the disk.
+Legacy call sites that treat the return value as a bare float keep
+working unchanged.
+
+Subclasses implement ``_read_impl``/``_write_impl`` (the old
+float-returning bodies); the base class brackets them with an op
+capture across the manager's devices and wraps the result.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
+
+from repro.sim.completion import Completion, OpRecorder
 
 
 @dataclass
@@ -29,21 +43,61 @@ class ManagerStats:
 class CacheManager(ABC):
     """A block-layer cache manager over a cache device and a disk.
 
-    ``read``/``write`` return the simulated service latency in
-    microseconds; data integrity is the manager's responsibility (a read
-    must always return the newest written data, wherever it lives).
+    ``read``/``write`` return the simulated service time as a
+    :class:`Completion`; data integrity is the manager's responsibility
+    (a read must always return the newest written data, wherever it
+    lives).
     """
 
     def __init__(self):
         self.stats = ManagerStats()
+        self._recorder = OpRecorder()
+
+    def _attach_devices(self, *devices: Any) -> None:
+        """Share this manager's op recorder with its devices.
+
+        Every object owning timed operations (the flash chip, the disk)
+        records into one recorder, so a request's operation trace comes
+        back in execution order across both tiers.
+        """
+        for device in devices:
+            device.op_recorder = self._recorder
+
+    # ------------------------------------------------------------------
+    # Public interface: capture-bracketed templates
+    # ------------------------------------------------------------------
+
+    def read(self, lbn: int) -> Tuple[Any, Completion]:
+        """Read disk block ``lbn``; returns (data, completion)."""
+        mark = self._recorder.begin()
+        try:
+            data, cost, hit = self._read_impl(lbn)
+        except BaseException:
+            self._recorder.end(mark)
+            raise
+        return data, Completion(cost, self._recorder.end(mark), hit=hit)
+
+    def write(self, lbn: int, data: Any) -> Completion:
+        """Write disk block ``lbn``; returns the completion."""
+        mark = self._recorder.begin()
+        try:
+            cost = self._write_impl(lbn, data)
+        except BaseException:
+            self._recorder.end(mark)
+            raise
+        return Completion(cost, self._recorder.end(mark))
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
 
     @abstractmethod
-    def read(self, lbn: int) -> Tuple[Any, float]:
-        """Read disk block ``lbn``; returns (data, latency_us)."""
+    def _read_impl(self, lbn: int) -> Tuple[Any, float, Optional[bool]]:
+        """Serve a read; returns (data, latency_us, cache_hit)."""
 
     @abstractmethod
-    def write(self, lbn: int, data: Any) -> float:
-        """Write disk block ``lbn``; returns latency_us."""
+    def _write_impl(self, lbn: int, data: Any) -> float:
+        """Serve a write; returns latency_us."""
 
     @abstractmethod
     def host_memory_bytes(self) -> int:

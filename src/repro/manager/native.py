@@ -99,6 +99,8 @@ class NativeCacheManager(CacheManager):
             1, ssd.chip.geometry.page_size // HOST_ENTRY_BYTES
         )
 
+        self._attach_devices(ssd.chip, disk)
+
         # Host-side state: the full mapping table plus per-set LRU.
         self._map: Dict[int, int] = {}        # disk lbn -> ssd slot
         self._slot_lbn: Dict[int, int] = {}   # ssd slot -> disk lbn
@@ -122,7 +124,7 @@ class NativeCacheManager(CacheManager):
     # Public interface
     # ------------------------------------------------------------------
 
-    def read(self, lbn: int) -> Tuple[Any, float]:
+    def _read_impl(self, lbn: int) -> Tuple[Any, float, bool]:
         self.stats.reads += 1
         slot = self._map.get(lbn)
         if slot is not None:
@@ -130,13 +132,13 @@ class NativeCacheManager(CacheManager):
             data, cost = self.ssd.read(slot)
             self._set_lru[self._set_of_lbn(lbn)].touch(lbn)
             self._dirty.touch(lbn)
-            return data, cost
+            return data, cost, True
         self.stats.read_misses += 1
         data, cost = self.disk.read(lbn)
         cost += self._insert(lbn, data, dirty=False)
-        return data, cost
+        return data, cost, False
 
-    def write(self, lbn: int, data: Any) -> float:
+    def _write_impl(self, lbn: int, data: Any) -> float:
         self.stats.writes += 1
         if self.config.mode == "wt":
             cost = self.disk.write(lbn, data)

@@ -76,22 +76,23 @@ class FlashTierWBManager(CacheManager):
         self.config = config
         self.dirty_table = DirtyBlockTable()
         self._dirty_limit = int(config.dirty_threshold * ssc.capacity_pages)
+        self._attach_devices(ssc.chip, disk)
 
-    def read(self, lbn: int) -> Tuple[Any, float]:
+    def _read_impl(self, lbn: int) -> Tuple[Any, float, bool]:
         self.stats.reads += 1
         try:
             data, cost = self.ssc.read(lbn)
             self.stats.read_hits += 1
             self.dirty_table.touch(lbn)
-            return data, cost
+            return data, cost, True
         except NotPresentError:
             pass
         self.stats.read_misses += 1
         data, cost = self.disk.read(lbn)
         cost += self._insert_clean(lbn, data)
-        return data, cost
+        return data, cost, False
 
-    def write(self, lbn: int, data: Any) -> float:
+    def _write_impl(self, lbn: int, data: Any) -> float:
         self.stats.writes += 1
         try:
             cost = self.ssc.write_dirty(lbn, data)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
+
 from repro.disk.model import Disk
 from repro.errors import NotPresentError
 from repro.manager.base import CacheManager
@@ -40,14 +41,15 @@ class FlashTierWTManager(CacheManager):
         self.ssc = ssc
         self.disk = disk
         self.bloom = bloom_filter
+        self._attach_devices(ssc.chip, disk)
 
-    def read(self, lbn: int) -> Tuple[Any, float]:
+    def _read_impl(self, lbn: int) -> Tuple[Any, float, bool]:
         self.stats.reads += 1
         if self.bloom is None or self.bloom.might_contain(lbn):
             try:
                 data, cost = self.ssc.read(lbn)
                 self.stats.read_hits += 1
-                return data, cost
+                return data, cost, True
             except NotPresentError:
                 pass
         self.stats.read_misses += 1
@@ -55,9 +57,9 @@ class FlashTierWTManager(CacheManager):
         cost += self.ssc.write_clean(lbn, data)
         if self.bloom is not None:
             self.bloom.add(lbn)
-        return data, cost
+        return data, cost, False
 
-    def write(self, lbn: int, data: Any) -> float:
+    def _write_impl(self, lbn: int, data: Any) -> float:
         self.stats.writes += 1
         cost = self.disk.write(lbn, data)
         cost += self.ssc.write_clean(lbn, data)

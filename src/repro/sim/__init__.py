@@ -1,6 +1,27 @@
-"""Simulation kernel: simulated time and crash injection."""
+"""Simulation kernel: simulated time, events, completions, crash injection."""
 
 from repro.sim.clock import SimClock
+from repro.sim.completion import (
+    DISK_RESOURCE,
+    Completion,
+    DeviceOp,
+    OpRecorder,
+    is_plane_resource,
+    plane_resource,
+)
 from repro.sim.crash import CrashPoint, CrashInjector
+from repro.sim.events import Event, EventScheduler
 
-__all__ = ["SimClock", "CrashPoint", "CrashInjector"]
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventScheduler",
+    "Completion",
+    "DeviceOp",
+    "OpRecorder",
+    "DISK_RESOURCE",
+    "plane_resource",
+    "is_plane_resource",
+    "CrashPoint",
+    "CrashInjector",
+]

@@ -41,6 +41,20 @@ class SimClock:
         self._now_us += delta_us
         return self._now_us
 
+    def advance_to(self, time_us: float) -> float:
+        """Jump to absolute time ``time_us``; returns the new time.
+
+        Used by the event scheduler, whose completion times are absolute;
+        moving backwards is rejected for the same monotonicity reason as
+        negative :meth:`advance` deltas.
+        """
+        if time_us < self._now_us:
+            raise ValueError(
+                f"cannot move clock back to {time_us} us from {self._now_us} us"
+            )
+        self._now_us = float(time_us)
+        return self._now_us
+
     def reset(self) -> None:
         """Reset to time zero (used between benchmark phases)."""
         self._now_us = 0.0

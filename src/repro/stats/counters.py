@@ -1,13 +1,18 @@
 """Replay-level statistics: hits, misses, latency distribution.
 
 These are the manager-facing numbers behind Figures 3/4/6 (IOPS and
-response times) and the miss-rate column of Table 5.
+response times) and the miss-rate column of Table 5.  With the
+event-driven replay engine, per-request latency splits into *service
+time* (the device actively working) and *queueing delay* (waiting for a
+busy plane or the disk spindle), and per-resource busy time supports
+device-utilization reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from math import ceil
+from typing import Dict, List, Tuple
 
 
 class LatencyStats:
@@ -35,20 +40,42 @@ class LatencyStats:
     def mean_us(self) -> float:
         return self.total_us / self.count if self.count else 0.0
 
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """The recorded samples (empty unless ``keep_samples=True``)."""
+        return tuple(self._samples)
+
     def percentile(self, pct: float) -> float:
-        """Return the ``pct`` percentile; requires keep_samples=True."""
+        """Return the ``pct`` percentile (nearest-rank definition).
+
+        The nearest-rank percentile is the smallest sample such that at
+        least ``pct`` percent of the data is less than or equal to it:
+        rank ``ceil(n * pct / 100)``, 1-indexed.  Requires
+        ``keep_samples=True``.
+        """
         if not self._keep:
             raise ValueError("percentiles require keep_samples=True")
         if not self._samples:
             return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
         ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(len(ordered) * pct / 100.0))
-        return ordered[index]
+        rank = ceil(len(ordered) * pct / 100.0)
+        rank = min(len(ordered), max(1, rank))
+        return ordered[rank - 1]
 
 
 @dataclass
 class ReplayStats:
-    """Outcome of replaying a trace through a cache manager."""
+    """Outcome of replaying a trace through a cache manager.
+
+    ``latency`` is the end-to-end per-request distribution; under the
+    event-driven engine it decomposes as ``service`` (device time) plus
+    ``queue_wait`` (time spent queued behind busy resources — always
+    zero for serial replay).  ``device_busy_us`` maps each contended
+    resource (``"plane:<n>"``, ``"disk"``) to its cumulative busy time
+    during the measured interval.
+    """
 
     ops: int = 0
     reads: int = 0
@@ -56,7 +83,11 @@ class ReplayStats:
     read_hits: int = 0
     read_misses: int = 0
     elapsed_us: float = 0.0
+    queue_depth: int = 1
     latency: LatencyStats = field(default_factory=LatencyStats)
+    service: LatencyStats = field(default_factory=LatencyStats)
+    queue_wait: LatencyStats = field(default_factory=LatencyStats)
+    device_busy_us: Dict[str, float] = field(default_factory=dict)
 
     def iops(self) -> float:
         """Requests per second of simulated time."""
@@ -70,3 +101,18 @@ class ReplayStats:
         if lookups == 0:
             return 0.0
         return 100.0 * self.read_misses / lookups
+
+    def add_busy(self, resource: str, duration_us: float) -> None:
+        """Charge ``duration_us`` of busy time to ``resource``."""
+        self.device_busy_us[resource] = (
+            self.device_busy_us.get(resource, 0.0) + duration_us
+        )
+
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of the measured interval each resource was busy."""
+        if self.elapsed_us <= 0:
+            return {}
+        return {
+            resource: busy / self.elapsed_us
+            for resource, busy in sorted(self.device_busy_us.items())
+        }

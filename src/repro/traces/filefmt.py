@@ -3,12 +3,14 @@
 A minimal, line-oriented text format — one request per line::
 
     R 123456
-    W 123457
+    W 123457 1500.0
 
-Comment lines start with ``#``.  This matches the spirit of the
-user-space trace-replay framework the paper added to its cache manager
-(§5) and lets externally-captured block traces be replayed through the
-same harness.
+Comment lines start with ``#``.  The optional third column is the
+request's arrival time in microseconds (trace-relative), used by
+open-loop replay; lines without it parse with ``arrival_us=None``.
+This matches the spirit of the user-space trace-replay framework the
+paper added to its cache manager (§5) and lets externally-captured
+block traces be replayed through the same harness.
 """
 
 from __future__ import annotations
@@ -30,9 +32,14 @@ def write_trace(path: PathLike, records: Iterable[TraceRecord]) -> int:
     """Write ``records`` to ``path``; returns the record count."""
     count = 0
     with open(path, "w", encoding="ascii") as handle:
-        handle.write("# repro block trace v1: <op R|W> <lbn>\n")
+        handle.write("# repro block trace v1: <op R|W> <lbn> [arrival_us]\n")
         for record in records:
-            handle.write(f"{record.op.value} {record.lbn}\n")
+            if record.arrival_us is None:
+                handle.write(f"{record.op.value} {record.lbn}\n")
+            else:
+                handle.write(
+                    f"{record.op.value} {record.lbn} {record.arrival_us!r}\n"
+                )
             count += 1
     return count
 
@@ -50,11 +57,12 @@ def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
-            if len(parts) != 2:
+            if len(parts) not in (2, 3):
                 raise TraceFormatError(
-                    f"{path}:{line_number}: expected '<op> <lbn>', got {line!r}"
+                    f"{path}:{line_number}: expected '<op> <lbn> [arrival_us]',"
+                    f" got {line!r}"
                 )
-            op_text, lbn_text = parts
+            op_text, lbn_text = parts[0], parts[1]
             try:
                 op = OpKind(op_text)
             except ValueError:
@@ -67,4 +75,18 @@ def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
                 raise TraceFormatError(
                     f"{path}:{line_number}: bad block number {lbn_text!r}"
                 ) from None
-            yield TraceRecord(op, lbn)
+            arrival_us = None
+            if len(parts) == 3:
+                try:
+                    arrival_us = float(parts[2])
+                except ValueError:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected numeric arrival time,"
+                        f" got {parts[2]!r}"
+                    ) from None
+                if arrival_us < 0:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected non-negative arrival"
+                        f" time, got {parts[2]!r}"
+                    )
+            yield TraceRecord(op, lbn, arrival_us)

@@ -32,8 +32,26 @@ class FIUFormatError(ReproError):
     """An FIU trace line could not be parsed."""
 
 
+def _timestamp_us(field: str) -> Optional[float]:
+    """Parse the timestamp field (seconds) to microseconds; tolerant —
+    a mangled field yields ``None`` rather than an error, since arrival
+    times are optional."""
+    try:
+        seconds = float(field)
+    except ValueError:
+        return None
+    if seconds < 0:
+        return None
+    return seconds * 1e6
+
+
 def parse_fiu_line(line: str, line_number: int = 0) -> Sequence[TraceRecord]:
-    """Convert one FIU trace line into its 4 KB block requests."""
+    """Convert one FIU trace line into its 4 KB block requests.
+
+    Each record carries the request's arrival time in microseconds
+    (absolute; :func:`iter_fiu_trace` rebases to the trace origin), or
+    ``None`` when the timestamp field is unusable.
+    """
     parts = line.split()
     if len(parts) < 6:
         raise FIUFormatError(
@@ -57,9 +75,10 @@ def parse_fiu_line(line: str, line_number: int = 0) -> Sequence[TraceRecord]:
         raise FIUFormatError(f"line {line_number}: unknown op {parts[5]!r}")
     if size_sectors == 0:
         return []
+    arrival_us = _timestamp_us(parts[0])
     first = lba // SECTORS_PER_BLOCK
     last = (lba + size_sectors - 1) // SECTORS_PER_BLOCK
-    return [TraceRecord(op, lbn) for lbn in range(first, last + 1)]
+    return [TraceRecord(op, lbn, arrival_us) for lbn in range(first, last + 1)]
 
 
 def iter_fiu_trace(
@@ -67,12 +86,18 @@ def iter_fiu_trace(
 ) -> Iterator[TraceRecord]:
     """Stream 4 KB block requests from an FIU trace file."""
     emitted = 0
+    origin_us: Optional[float] = None
     with open(path, "r", encoding="ascii", errors="replace") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             for record in parse_fiu_line(line, line_number):
+                if record.arrival_us is not None:
+                    # Rebase absolute timestamps to the trace's origin.
+                    if origin_us is None:
+                        origin_us = record.arrival_us
+                    record.arrival_us = max(0.0, record.arrival_us - origin_us)
                 yield record
                 emitted += 1
                 if limit is not None and emitted >= limit:

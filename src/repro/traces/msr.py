@@ -25,12 +25,38 @@ PathLike = Union[str, Path]
 BLOCK_SIZE = 4096
 
 
+#: Windows filetime ticks (100 ns) per microsecond — the MSR Timestamp
+#: field's unit.
+_TICKS_PER_US = 10.0
+
+
 class MSRFormatError(ReproError):
     """An MSR trace line could not be parsed."""
 
 
+def _timestamp_us(field: str) -> Optional[float]:
+    """Parse the Timestamp field to microseconds; None if unusable.
+
+    Timestamps are Windows filetime ticks (100 ns).  Some republished
+    MSR variants blank or mangle the field; arrival times are optional,
+    so parsing stays tolerant.
+    """
+    try:
+        ticks = float(field)
+    except ValueError:
+        return None
+    if ticks < 0:
+        return None
+    return ticks / _TICKS_PER_US
+
+
 def parse_msr_line(line: str, line_number: int = 0) -> Sequence[TraceRecord]:
-    """Convert one MSR CSV line into its 4 KB block requests."""
+    """Convert one MSR CSV line into its 4 KB block requests.
+
+    Each record carries the request's arrival time in microseconds
+    (absolute filetime; :func:`iter_msr_trace` rebases to the trace
+    origin), or ``None`` when the Timestamp field is unusable.
+    """
     parts = line.strip().split(",")
     if len(parts) < 6:
         raise MSRFormatError(
@@ -54,9 +80,10 @@ def parse_msr_line(line: str, line_number: int = 0) -> Sequence[TraceRecord]:
         raise MSRFormatError(f"line {line_number}: negative offset or size")
     if size == 0:
         return []
+    arrival_us = _timestamp_us(parts[0])
     first = offset // BLOCK_SIZE
     last = (offset + size - 1) // BLOCK_SIZE
-    return [TraceRecord(op, lbn) for lbn in range(first, last + 1)]
+    return [TraceRecord(op, lbn, arrival_us) for lbn in range(first, last + 1)]
 
 
 def iter_msr_trace(
@@ -72,6 +99,7 @@ def iter_msr_trace(
     """
     wanted = set(disks) if disks is not None else None
     emitted = 0
+    origin_us: Optional[float] = None
     with open(path, "r", encoding="ascii", errors="replace") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -92,6 +120,11 @@ def iter_msr_trace(
                 if disk not in wanted:
                     continue
             for record in parse_msr_line(line, line_number):
+                if record.arrival_us is not None:
+                    # Rebase absolute filetimes to the trace's origin.
+                    if origin_us is None:
+                        origin_us = record.arrival_us
+                    record.arrival_us = max(0.0, record.arrival_us - origin_us)
                 yield record
                 emitted += 1
                 if limit is not None and emitted >= limit:

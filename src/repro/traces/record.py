@@ -7,6 +7,7 @@ the paper's trace preprocessing (Table 3 caption).
 from __future__ import annotations
 
 from enum import Enum
+from typing import Optional
 
 
 class OpKind(Enum):
@@ -17,15 +18,24 @@ class OpKind(Enum):
 
 
 class TraceRecord:
-    """One I/O request: an operation on a 4 KB disk block."""
+    """One I/O request: an operation on a 4 KB disk block.
 
-    __slots__ = ("op", "lbn")
+    ``arrival_us`` optionally records when the request was issued,
+    in microseconds relative to the trace's own origin.  Open-loop
+    replay dispatches requests at these timestamps; closed-loop replay
+    ignores them.  Traces without timing information leave it ``None``.
+    """
 
-    def __init__(self, op: OpKind, lbn: int):
+    __slots__ = ("op", "lbn", "arrival_us")
+
+    def __init__(self, op: OpKind, lbn: int, arrival_us: Optional[float] = None):
         if lbn < 0:
             raise ValueError(f"lbn must be >= 0, got {lbn}")
+        if arrival_us is not None and arrival_us < 0:
+            raise ValueError(f"arrival_us must be >= 0, got {arrival_us}")
         self.op = op
         self.lbn = lbn
+        self.arrival_us = arrival_us
 
     @property
     def is_write(self) -> bool:
@@ -34,10 +44,16 @@ class TraceRecord:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TraceRecord):
             return NotImplemented
-        return self.op is other.op and self.lbn == other.lbn
+        return (
+            self.op is other.op
+            and self.lbn == other.lbn
+            and self.arrival_us == other.arrival_us
+        )
 
     def __hash__(self) -> int:
-        return hash((self.op, self.lbn))
+        return hash((self.op, self.lbn, self.arrival_us))
 
     def __repr__(self) -> str:
-        return f"TraceRecord({self.op.value}, {self.lbn})"
+        if self.arrival_us is None:
+            return f"TraceRecord({self.op.value}, {self.lbn})"
+        return f"TraceRecord({self.op.value}, {self.lbn}, at={self.arrival_us:.1f}us)"

@@ -1,9 +1,11 @@
-"""Trace replay through a cache manager.
+"""Serial trace replay through a cache manager.
 
 Drives a :class:`~repro.manager.base.CacheManager` with a request
 sequence, advancing a simulated clock by each request's service time.
 Reported IOPS is requests per second of *simulated* time, mirroring the
-paper's trace-replay framework (§5).
+paper's trace-replay framework (§5).  One request is outstanding at a
+time; the event-driven :class:`~repro.engine.ReplayEngine` generalizes
+this to higher queue depths and open-loop arrival schedules.
 
 Warm-up follows §6.5: "To warm the cache, we replay the first 15 % of
 the trace before gathering statistics."
@@ -15,6 +17,7 @@ from typing import Optional, Sequence
 
 from repro.manager.base import CacheManager
 from repro.sim.clock import SimClock
+from repro.sim.completion import Completion
 from repro.stats.counters import LatencyStats, ReplayStats
 from repro.traces.record import TraceRecord
 
@@ -29,31 +32,42 @@ def replay_trace(
     """Replay ``trace`` through ``manager``; returns measured statistics.
 
     The first ``warmup_fraction`` of requests are executed but excluded
-    from the returned statistics (their time does not count toward
-    IOPS, and hit/miss counters are reset after warm-up).
+    from the returned statistics: their time does not count toward
+    IOPS, and the hit/miss baseline is re-snapshotted when measurement
+    begins.  The trace is walked once — no sliced copies.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
     clock = clock or SimClock()
     warmup_ops = int(len(trace) * warmup_fraction)
 
-    for record in trace[:warmup_ops]:
-        _issue(manager, record)
-
+    stats = ReplayStats(latency=LatencyStats(keep_samples=keep_latencies))
     hits_before = manager.stats.read_hits
     misses_before = manager.stats.read_misses
-    stats = ReplayStats(latency=LatencyStats(keep_samples=keep_latencies))
     start_us = clock.now_us
 
-    for record in trace[warmup_ops:]:
-        latency = _issue(manager, record)
-        clock.advance(latency)
+    for index, record in enumerate(trace):
+        if index == warmup_ops:
+            # Warm-up ends here: re-baseline the counters and the clock
+            # origin before this request is issued.
+            hits_before = manager.stats.read_hits
+            misses_before = manager.stats.read_misses
+            start_us = clock.now_us
+        completion = _issue(manager, record)
+        if index < warmup_ops:
+            continue
+        latency_us = float(completion)
+        clock.advance(latency_us)
         stats.ops += 1
         if record.is_write:
             stats.writes += 1
         else:
             stats.reads += 1
-        stats.latency.record(latency)
+        stats.latency.record(latency_us)
+        stats.service.record(latency_us)
+        stats.queue_wait.record(0.0)
+        for op in completion.ops:
+            stats.add_busy(op.resource, op.duration_us)
 
     stats.elapsed_us = clock.now_us - start_us
     stats.read_hits = manager.stats.read_hits - hits_before
@@ -61,8 +75,8 @@ def replay_trace(
     return stats
 
 
-def _issue(manager: CacheManager, record: TraceRecord) -> float:
+def _issue(manager: CacheManager, record: TraceRecord) -> Completion:
     if record.is_write:
         return manager.write(record.lbn, ("w", record.lbn))
-    _data, latency = manager.read(record.lbn)
-    return latency
+    _data, completion = manager.read(record.lbn)
+    return completion

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.traces.record import OpKind, TraceRecord
@@ -47,6 +47,10 @@ class WorkloadProfile:
     region_blocks: int = 1000          # Fig. 1 granularity, scaled from 100k
     region_density_alpha: float = 1.1  # heavy tail over region densities
     extent_max: int = 64
+    # Optional Poisson arrival process for open-loop replay: mean request
+    # rate in IOPS.  None (the default) generates untimed records, which
+    # keeps existing profiles bit-identical.
+    arrival_rate_iops: Optional[float] = None
 
     def __post_init__(self):
         if self.unique_blocks > self.address_range_blocks:
@@ -55,6 +59,8 @@ class WorkloadProfile:
             raise ConfigError("write_fraction must be in [0, 1]")
         if self.total_ops < 1 or self.unique_blocks < 1:
             raise ConfigError("total_ops and unique_blocks must be positive")
+        if self.arrival_rate_iops is not None and self.arrival_rate_iops <= 0:
+            raise ConfigError("arrival_rate_iops must be positive when set")
 
     def scaled(self, factor: float) -> "WorkloadProfile":
         """Return a proportionally smaller/larger profile (for tests).
@@ -139,6 +145,14 @@ class SyntheticTrace:
             lbn for start, length in self.extents for lbn in range(start, start + length)
         ]
         self.records = _generate_ops(profile, self.extents, rng)
+        if profile.arrival_rate_iops is not None:
+            # A separate, seed-derived RNG keeps the op/address stream
+            # bit-identical with and without arrival timing.
+            _assign_arrivals(
+                self.records,
+                profile.arrival_rate_iops,
+                random.Random(f"arrivals:{seed}"),
+            )
 
     def __len__(self) -> int:
         return len(self.records)
@@ -302,3 +316,19 @@ def _generate_ops(
                 break
             records.append(TraceRecord(op, start + offset + step))
     return records
+
+
+def _assign_arrivals(
+    records: Sequence[TraceRecord], rate_iops: float, rng: random.Random
+) -> None:
+    """Stamp Poisson arrival times onto ``records`` in place.
+
+    Exponential inter-arrival gaps at ``rate_iops`` mean requests per
+    second.  Runs as a post-pass with its own RNG so the op/address
+    stream of a profile is bit-identical with and without arrivals.
+    """
+    rate_per_us = rate_iops / 1e6
+    arrival_us = 0.0
+    for record in records:
+        arrival_us += rng.expovariate(rate_per_us)
+        record.arrival_us = arrival_us

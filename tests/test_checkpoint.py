@@ -1,6 +1,5 @@
 """Unit tests for SSC checkpoints."""
 
-import pytest
 
 from repro.flash.timing import TimingModel
 from repro.ssc.checkpoint import (

@@ -10,7 +10,6 @@ import random
 import pytest
 
 from repro import CacheMode, SystemConfig, SystemKind, build_system
-from repro.errors import NotPresentError
 from repro.traces import HOMES, MAIL, generate_trace
 from repro.traces.record import OpKind, TraceRecord
 from repro.traces.replay import replay_trace

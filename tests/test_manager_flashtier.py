@@ -2,10 +2,8 @@
 
 import random
 
-import pytest
 
 from repro.disk.model import Disk
-from repro.errors import NotPresentError
 from repro.flash.geometry import FlashGeometry
 from repro.manager.dirty_table import DirtyBlockTable, ENTRY_BYTES
 from repro.manager.writeback import FlashTierWBManager, WriteBackConfig

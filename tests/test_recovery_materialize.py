@@ -6,7 +6,6 @@ from repro.flash.block import BlockKind
 from repro.flash.geometry import FlashGeometry
 from repro.flash.page import PageState
 from repro.ssc.device import SolidStateCache
-from repro.ssc.engine import EvictionPolicy
 
 
 @pytest.fixture

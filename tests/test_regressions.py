@@ -6,7 +6,6 @@ resources, so the failure mode stays dead.
 
 import random
 
-import pytest
 
 from repro.errors import CacheFullError
 from repro.flash.block import BlockKind

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
 from repro.ftl.mapping import ENTRY_BYTES
-from repro.ssc.sparse_map import GROUP_OVERHEAD_BYTES, SparseHashMap
+from repro.ssc.sparse_map import SparseHashMap
 
 
 class TestBasics:

@@ -1,11 +1,9 @@
 """Unit tests for the SSC device's six-operation interface."""
 
-import random
 
 import pytest
 
 from repro.errors import ConfigError, NotPresentError, RecoveryError
-from repro.flash.geometry import FlashGeometry
 from repro.ssc.device import SolidStateCache, SSCConfig
 from repro.ssc.engine import EvictionPolicy
 

@@ -5,11 +5,10 @@ import random
 import pytest
 
 from repro.errors import CacheFullError, ConfigError, InvalidAddressError
-from repro.flash.block import BlockKind
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import TimingModel
-from repro.ssc.device import SolidStateCache, SSCConfig
+from repro.ssc.device import SolidStateCache
 from repro.ssc.engine import CacheFTL, CacheFTLConfig, EvictionPolicy
 from repro.ssc.log import NullOperationLog
 

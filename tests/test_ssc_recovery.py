@@ -12,8 +12,7 @@ import pytest
 
 from repro.errors import NotPresentError, RecoveryError
 from repro.flash.geometry import FlashGeometry
-from repro.ssc.device import SolidStateCache, SSCConfig
-from repro.ssc.engine import EvictionPolicy
+from repro.ssc.device import SolidStateCache
 from repro.ssc.recovery import replay
 from repro.ssc.log import LogRecord, RecordKind
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.flash.block import BlockKind
 from repro.flash.chip import FlashChip
