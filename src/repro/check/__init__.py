@@ -1,0 +1,36 @@
+"""Crash-state exploration: model-based crash-consistency checking.
+
+The SSC makes three durability promises (paper §3.5): write-dirty and
+evict are durable on completion, write-clean may be silently dropped but
+never corrupted, and clean may revert to dirty after a crash.  This
+package checks those promises *exhaustively* for a workload:
+
+* :mod:`repro.check.oracle` — a pure in-memory model of the six-op SSC
+  interface that, for every logical block, knows the set of post-crash
+  states the contract permits.
+* :mod:`repro.check.workload` — deterministic pseudo-random workload
+  generation (plus a hypothesis strategy for property tests).
+* :mod:`repro.check.explorer` — runs the workload once to enumerate
+  every durability boundary it crosses, then re-runs it once per
+  boundary, crashes there, recovers, and diffs the recovered device
+  against the oracle's legal states.
+* :mod:`repro.check.faults` — torn-write and bit-flip fault injection
+  into durable state, exercising the checksum-based damage detection in
+  recovery.
+
+Drive it from the command line with ``repro crashcheck``.
+"""
+
+from repro.check.oracle import ABSENT, SSCOracle, Violation
+from repro.check.workload import Op, generate_workload
+from repro.check.explorer import ExplorationReport, explore
+
+__all__ = [
+    "ABSENT",
+    "SSCOracle",
+    "Violation",
+    "Op",
+    "generate_workload",
+    "ExplorationReport",
+    "explore",
+]

@@ -1,0 +1,78 @@
+"""Bit-flip fault injection into *durable* state.
+
+Torn writes (handled inside the device model, ``CrashInjector.torn``)
+damage the write that was in flight at the power cut.  Bit flips model
+the other hazard class: state that was durably written and later rots —
+a flipped cell in a flushed log record, a flash page payload, or a
+checkpoint region.
+
+Every injector here corrupts the data while leaving the *stored
+checksum* untouched, so the damage is detectable: recovery must notice
+the mismatch and discard the damaged record/page/checkpoint instead of
+surfacing it.  The crash-state explorer checks such trials under the
+relaxed integrity rules — discarding a damaged log tail may legally
+lose committed work, but must never produce a value the host did not
+write (docs/crash_testing.md).
+
+Each injector returns True if it found something to corrupt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.flash.page import PageState
+from repro.ssc.device import SolidStateCache
+
+
+def flip_log_record(ssc: SolidStateCache, rng: random.Random) -> bool:
+    """Flip a bit in one durably-flushed log record."""
+    flushed = ssc.oplog.flushed
+    if not flushed:
+        return False
+    index = rng.randrange(len(flushed))
+    record = flushed[index]
+    # Damage the physical address; the stored CRC no longer matches.
+    flushed[index] = dataclasses.replace(record, ppn=record.ppn ^ 1)
+    return True
+
+
+def flip_page_data(ssc: SolidStateCache, rng: random.Random) -> bool:
+    """Corrupt the payload of one programmed flash page.
+
+    The OOB checksum keeps its original value, so the page reads back
+    as damaged (checksum mismatch) — recovery must not map it.
+    """
+    candidates = [
+        page
+        for plane in ssc.chip.planes
+        for block in plane.blocks.values()
+        for page in block.pages
+        if page.state is PageState.VALID and page.oob is not None
+    ]
+    if not candidates:
+        return False
+    page = rng.choice(candidates)
+    page.data = ("<bitrot>", page.data)
+    return True
+
+
+def flip_checkpoint(ssc: SolidStateCache, rng: random.Random) -> bool:
+    """Corrupt the most recent checkpoint's serialized mapping.
+
+    Its checksum no longer verifies, so recovery must fall back to the
+    other (older) slot, or to pure log replay if none is intact.
+    """
+    checkpoint = ssc.checkpoints.latest()
+    if checkpoint is None:
+        return False
+    if checkpoint.page_entries:
+        lbn, ppn, dirty = checkpoint.page_entries[0]
+        checkpoint.page_entries[0] = (lbn ^ 1, ppn, dirty)
+    elif checkpoint.block_entries:
+        group, pbn, dirty_bm, valid_bm = checkpoint.block_entries[0]
+        checkpoint.block_entries[0] = (group ^ 1, pbn, dirty_bm, valid_bm)
+    else:
+        checkpoint.checksum ^= 0x1
+    return True

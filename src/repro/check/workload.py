@@ -1,0 +1,106 @@
+"""Workload generation for the crash-state explorer.
+
+A workload is a flat list of :class:`Op` covering all six SSC
+operations plus two device-internal triggers (background collection and
+an explicit checkpoint) so crashes land inside garbage collection and
+checkpoint writes too, not only inside the request path.
+
+Generation is deterministic in ``seed``: the explorer replays the exact
+same list once per durability boundary, so every trial's prefix is
+identical to the baseline run — that is what makes "crash at boundary
+k" well-defined.  Every written value is unique (``d<n>``), so a stale
+read is distinguishable from a lost write.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Op:
+    """One step of a generated workload.
+
+    ``kind`` is one of ``write_dirty``, ``write_clean``, ``read``,
+    ``evict``, ``clean``, ``exists``, ``gc``, ``checkpoint``.  ``lbn``
+    is the target block (for ``exists`` the exclusive upper bound of the
+    scanned range; None for gc/checkpoint).  ``data`` is the payload for
+    writes.
+    """
+
+    kind: str
+    lbn: Optional[int] = None
+    data: Optional[Any] = None
+
+
+#: (kind, weight) — writes dominate, as in the paper's write-heavy
+#: traces; clean appears often enough that silent eviction stays
+#: reachable and the cache never wedges full of dirty data.
+_MIX = [
+    ("write_dirty", 28),
+    ("write_clean", 26),
+    ("read", 16),
+    ("clean", 14),
+    ("evict", 8),
+    ("exists", 4),
+    ("gc", 3),
+    ("checkpoint", 1),
+]
+
+
+def generate_workload(ops: int, seed: int, lbn_range: int = 64) -> List[Op]:
+    """Deterministically generate ``ops`` operations over ``lbn_range``.
+
+    A small address range relative to the device keeps replace-writes,
+    cleans and evictions landing on populated blocks, which is where the
+    interesting durability transitions happen.
+    """
+    if ops < 1:
+        raise ValueError("ops must be >= 1")
+    rng = random.Random(seed)
+    kinds = [kind for kind, weight in _MIX for _ in range(weight)]
+    workload: List[Op] = []
+    serial = 0
+    for _ in range(ops):
+        kind = rng.choice(kinds)
+        if kind in ("gc", "checkpoint"):
+            workload.append(Op(kind))
+        elif kind == "exists":
+            workload.append(Op(kind, lbn=lbn_range))
+        elif kind in ("write_dirty", "write_clean"):
+            serial += 1
+            workload.append(Op(kind, lbn=rng.randrange(lbn_range),
+                               data=f"d{serial}"))
+        else:
+            workload.append(Op(kind, lbn=rng.randrange(lbn_range)))
+    return workload
+
+
+def op_strategy(lbn_range: int = 16):
+    """Hypothesis strategy producing one :class:`Op` (for property tests).
+
+    Imported lazily so the library itself never depends on hypothesis.
+    """
+    import hypothesis.strategies as st
+
+    lbns = st.integers(min_value=0, max_value=lbn_range - 1)
+    serials = st.integers(min_value=0, max_value=999_999)
+    return st.one_of(
+        st.builds(lambda l, s: Op("write_dirty", l, f"d{s}"), lbns, serials),
+        st.builds(lambda l, s: Op("write_clean", l, f"d{s}"), lbns, serials),
+        st.builds(lambda l: Op("read", l), lbns),
+        st.builds(lambda l: Op("clean", l), lbns),
+        st.builds(lambda l: Op("evict", l), lbns),
+        st.just(Op("exists", lbn_range)),
+        st.just(Op("gc")),
+        st.just(Op("checkpoint")),
+    )
+
+
+def workload_strategy(max_ops: int = 30, lbn_range: int = 16):
+    """Hypothesis strategy producing a whole workload list."""
+    import hypothesis.strategies as st
+
+    return st.lists(op_strategy(lbn_range), min_size=1, max_size=max_ops)

@@ -208,6 +208,33 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def cmd_crashcheck(args) -> int:
+    from repro.check.explorer import explore
+
+    report = explore(
+        ops=args.ops,
+        seed=args.seed,
+        stride=args.stride,
+        torn=not args.no_torn,
+        bitflips=args.bitflips,
+    )
+    print(f"workload:            {args.ops} ops (seed {args.seed})")
+    print(f"durability boundaries: {report.boundaries}")
+    print(f"trials run:          {report.trials} "
+          f"(stride {args.stride}, torn={'off' if args.no_torn else 'on'}, "
+          f"bitflips {report.bitflip_trials})")
+    print(f"crashes explored:    {report.explored}")
+    for name in sorted(report.fired_counts):
+        print(f"  {name:<20} {report.fired_counts[name]}")
+    if report.violations:
+        print(f"\nVIOLATIONS ({len(report.violations)}):")
+        for violation in report.violations:
+            print(f"  {violation}")
+        return 1
+    print("no contract violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +283,22 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--warmup", type=float, default=0.15)
     compare.add_argument("--no-consistency", action="store_true")
     compare.set_defaults(func=cmd_compare)
+
+    crashcheck = subparsers.add_parser(
+        "crashcheck",
+        help="explore every crash point of a workload against the SSC oracle",
+    )
+    crashcheck.add_argument("--ops", type=int, default=200,
+                            help="workload length (default 200)")
+    crashcheck.add_argument("--seed", type=int, default=0,
+                            help="workload RNG seed (default 0)")
+    crashcheck.add_argument("--stride", type=int, default=1,
+                            help="sample every Nth boundary (default 1: all)")
+    crashcheck.add_argument("--bitflips", type=int, default=12,
+                            help="bit-flip fault trials (default 12)")
+    crashcheck.add_argument("--no-torn", action="store_true",
+                            help="skip the torn-write variant of each boundary")
+    crashcheck.set_defaults(func=cmd_crashcheck)
 
     recover = subparsers.add_parser("recover", help="crash-recovery timing demo")
     _add_trace_source_args(recover)

@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
+from repro.errors import CrashError
 from repro.flash.block import EraseBlock
 from repro.flash.geometry import FlashGeometry
 from repro.flash.page import OOBData, Page, PageState
 from repro.flash.plane import Plane
 from repro.flash.timing import TimingModel
 from repro.sim.completion import OpRecorder, plane_resource
+from repro.sim.crash import CrashInjector, CrashPoint
+from repro.util.checksum import crc32_of_payload
 
 
 @dataclass
@@ -56,6 +59,10 @@ class FlashChip:
         # across its chip and disk so completions carry the full,
         # in-order operation trace of each request.
         self.op_recorder = OpRecorder()
+        # Optional fault hook: when set, every page program ticks the
+        # injector at its BEFORE/AFTER durability boundaries so a crash
+        # (or torn program) can fire mid-operation.
+        self.crash_injector: Optional[CrashInjector] = None
         self.planes: List[Plane] = []
         pages = self.geometry.pages_per_block
         for plane_id in range(self.geometry.planes):
@@ -123,17 +130,33 @@ class FlashChip:
 
         Enforces NAND constraints: the page must be FREE and must be the
         block's next sequential page.  The OOB write is free (overlapped
-        with the data program, per the paper's assumption).
+        with the data program, per the paper's assumption).  The OOB
+        checksum binding the payload to its logical address is stamped
+        here, so every programmed page is verifiable at recovery.
         """
         self.geometry.check_ppn(ppn)
         pbn = self.geometry.ppn_to_pbn(ppn)
         offset = self.geometry.ppn_to_offset(ppn)
+        injector = self.crash_injector
+        if injector is not None:
+            try:
+                injector.tick(CrashPoint.BEFORE_DATA_WRITE)
+            except CrashError:
+                if injector.torn:
+                    # Power failed mid-program: the page holds garbage.
+                    self.block(pbn).program_torn(offset)
+                    self.stats.page_writes += 1
+                raise
+        if oob.checksum is None:
+            oob.checksum = crc32_of_payload(oob.lbn, data)
         self.block(pbn).program(offset, data, oob)
         cost = self.timing.write_cost()
         self.stats.page_writes += 1
         self.stats.busy_us += cost
         if self.op_recorder.active:
             self._record_op(pbn // self.geometry.blocks_per_plane, "page_write", cost)
+        if injector is not None:
+            injector.tick(CrashPoint.AFTER_DATA_WRITE)
         return cost
 
     def erase_block(self, pbn: int) -> float:

@@ -31,12 +31,17 @@ class OOBData:
     address for an SSC, the SSD-internal address for an SSD).  ``dirty``
     marks write-back data not yet on disk.  ``seq`` is a monotonically
     increasing write sequence used to disambiguate multiple flash copies
-    of the same logical block during OOB recovery scans.
+    of the same logical block during OOB recovery scans.  ``checksum``
+    binds the payload to the logical address (set by the chip at program
+    time); recovery uses it to detect torn programs and bit rot, and
+    ``None`` marks metadata written before checksumming existed (always
+    treated as intact).
     """
 
     lbn: Optional[int] = None
     dirty: bool = False
     seq: int = 0
+    checksum: Optional[int] = None
 
 
 class Page:

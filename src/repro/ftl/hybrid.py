@@ -133,6 +133,26 @@ class HybridFTL:
         return self.chip.free_blocks_total()
 
     # ------------------------------------------------------------------
+    # Erase discipline
+    # ------------------------------------------------------------------
+
+    def _pre_erase_barrier(self) -> float:
+        """Durability barrier crossed before an erase destroys data.
+
+        A plain SSD keeps its mapping in RAM and rebuilds it from OOB
+        areas, so nothing needs forcing here.  The SSC overrides this to
+        flush its operation log: mapping records that supersede pages in
+        the doomed block must be durable *before* the erase, or a crash
+        in between would leave the durable mapping referencing erased
+        flash (write-ahead rule).
+        """
+        return 0.0
+
+    def _erase(self, pbn: int) -> float:
+        """Erase ``pbn`` behind the durability barrier; returns cost."""
+        return self._pre_erase_barrier() + self.chip.erase_block(pbn)
+
+    # ------------------------------------------------------------------
     # Public block-device interface
     # ------------------------------------------------------------------
 
@@ -165,16 +185,23 @@ class HybridFTL:
 
         ``dirty`` is carried into the page's OOB so the native write-back
         manager's recovery scan can distinguish dirty cached blocks.
+
+        Ordering is crash-critical: the new copy is programmed first,
+        then :meth:`_install_mapping` re-points the map *before* the old
+        copy is invalidated.  For the logged SSC subclass that makes the
+        whole replace a single INSERT record (replay overwrites the
+        entry), so no log tail — torn or cleanly truncated — can ever
+        persist the removal of the old copy without the insert of the
+        new one, which would lose durably-committed data.
         """
         self._check_lpn(lpn)
-        cost = self._invalidate(lpn)
         if self.config.sequential_log:
             seq_cost = self._try_sequential_write(lpn, data, dirty)
             if seq_cost is not None:
                 self.stats.user_writes += 1
                 self._last_lpn = lpn
-                return cost + seq_cost
-        cost += self._random_log_write(lpn, data, dirty)
+                return seq_cost
+        cost = self._random_log_write(lpn, data, dirty)
         self.stats.user_writes += 1
         self._last_lpn = lpn
         return cost
@@ -211,6 +238,26 @@ class HybridFTL:
     # ------------------------------------------------------------------
     # Internals: invalidation, log slots, merges
     # ------------------------------------------------------------------
+
+    def _install_mapping(self, lpn: int, ppn: int) -> float:
+        """Point ``lpn`` at its freshly-programmed copy ``ppn``; retire
+        the superseded copy (metadata only).
+
+        The map insert comes first so a logged subclass emits the INSERT
+        record before any invalidation record (see :meth:`write`).
+        """
+        previous = self.log_map.insert(lpn, ppn)
+        if previous is not None and previous != ppn:
+            pbn = self.chip.geometry.ppn_to_pbn(previous)
+            self.chip.block(pbn).invalidate(self.chip.geometry.ppn_to_offset(previous))
+        pbn = self.data_map.lookup(self._group_of(lpn))
+        if pbn is not None:
+            self._retire_block_copy(lpn, pbn)
+        return 0.0
+
+    def _retire_block_copy(self, lpn: int, pbn: int) -> None:
+        """Invalidate ``lpn``'s copy inside data block ``pbn`` (if live)."""
+        self.chip.block(pbn).invalidate(self._offset_of(lpn))
 
     def _invalidate(self, lpn: int) -> float:
         """Invalidate any current flash copy of ``lpn`` (metadata only)."""
@@ -265,7 +312,7 @@ class HybridFTL:
         ppn = self.chip.geometry.make_ppn(block.pbn, block.write_pointer)
         oob = OOBData(lbn=lpn, dirty=dirty, seq=self.chip.next_seq())
         cost += self.chip.program_page(ppn, data, oob)
-        self.log_map.insert(lpn, ppn)
+        cost += self._install_mapping(lpn, ppn)
         self._seq_next_lpn = lpn + 1
         if block.is_full:
             cost += self._retire_seq_log()
@@ -276,7 +323,7 @@ class HybridFTL:
         ppn = self.chip.geometry.make_ppn(block.pbn, offset)
         oob = OOBData(lbn=lpn, dirty=dirty, seq=self.chip.next_seq())
         cost += self.chip.program_page(ppn, data, oob)
-        self.log_map.insert(lpn, ppn)
+        cost += self._install_mapping(lpn, ppn)
         return cost
 
     def _retire_seq_log(self) -> float:
@@ -293,7 +340,7 @@ class HybridFTL:
             return 0.0
         if block.valid_count == 0:
             # Every page was overwritten through the random log already.
-            return self.chip.erase_block(block.pbn)
+            return self._erase(block.pbn)
         if block.valid_count != block.write_pointer:
             # Some of the run's pages were superseded (overwritten via
             # the random log, or relocated by a merge) while the block
@@ -347,7 +394,7 @@ class HybridFTL:
             old = self.chip.block(old_pbn)
             for offset in old.valid_offsets():
                 old.invalidate(offset)
-            cost += self.chip.erase_block(old_pbn)
+            cost += self._erase(old_pbn)
         if partial:
             self.stats.partial_merges += 1
         else:
@@ -404,7 +451,7 @@ class HybridFTL:
                 # Every live page belonged to one of those groups, so the
                 # victim must be empty now; erase it back to the free pool.
                 assert victim.valid_count == 0, "full merge left live pages behind"
-                cost += self.chip.erase_block(victim_pbn)
+                cost += self._erase(victim_pbn)
         except Exception:
             # A mid-merge failure (e.g. the SSC's cache-full condition)
             # must not leak the victim out of the log pool: its remaining
@@ -469,7 +516,7 @@ class HybridFTL:
             old = self.chip.block(old_pbn)
             for offset in old.valid_offsets():
                 old.invalidate(offset)
-            cost += self.chip.erase_block(old_pbn)
+            cost += self._erase(old_pbn)
         self.stats.switch_merges += 1
         return cost
 
@@ -526,7 +573,7 @@ class HybridFTL:
                 old = self.chip.block(old_pbn)
                 for offset in old.valid_offsets():
                     old.invalidate(offset)
-                cost += self.chip.erase_block(old_pbn)
+                cost += self._erase(old_pbn)
         finally:
             if old_pbn is not None:
                 self._gc_protected.discard(old_pbn)

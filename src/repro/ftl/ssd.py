@@ -20,6 +20,7 @@ from repro.flash.timing import TimingModel
 from repro.ftl.hybrid import HybridFTL, HybridFTLConfig
 from repro.ftl.pagemap import PageMapFTL, PageMapFTLConfig
 from repro.sim.completion import Completion
+from repro.sim.crash import CrashInjector
 
 
 class SSD:
@@ -46,6 +47,10 @@ class SSD:
             self.ftl = PageMapFTL(self.chip, page_config)
         else:
             raise ConfigError("mapping must be 'hybrid' or 'page'")
+
+    def attach_injector(self, injector: CrashInjector) -> None:
+        """Wire a crash injector into the chip's program-path boundaries."""
+        self.chip.crash_injector = injector
 
     # ---- capacity --------------------------------------------------------
 

@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.errors import CrashError
 from repro.flash.timing import TimingModel
+from repro.sim.crash import CrashInjector, CrashPoint
 from repro.util.checksum import crc32_of_pairs
 
 #: Serialized entry sizes: page entries carry lbn + ppn + flags; block
@@ -74,6 +76,8 @@ class CheckpointStore:
         self.timing = timing
         self.page_size = page_size
         self.pages_per_block = pages_per_block
+        # Optional fault hook: ticks AFTER_CHECKPOINT at every write.
+        self.injector: Optional[CrashInjector] = None
         self._slots: List[Optional[Checkpoint]] = [None, None]
         self._active = 0
         self.writes = 0
@@ -103,6 +107,16 @@ class CheckpointStore:
         blocks = -(-pages // self.pages_per_block)
         self.writes += 1
         self.pages_written += pages
+        if self.injector is not None:
+            try:
+                self.injector.tick(CrashPoint.AFTER_CHECKPOINT)
+            except CrashError:
+                if self.injector.torn:
+                    # Power failed mid-write: the slot holds a torn
+                    # checkpoint whose checksum cannot verify, so
+                    # latest() falls back to the other (intact) slot.
+                    checkpoint.checksum ^= 0x1
+                raise
         return pages * self.timing.write_cost() + blocks * self.timing.erase_cost()
 
     def read_cost(self, checkpoint: Checkpoint) -> float:

@@ -32,9 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import ConfigError, NotPresentError, RecoveryError
+from repro.errors import ConfigError, CrashError, NotPresentError, RecoveryError
 from repro.flash.chip import FlashChip
 from repro.sim.completion import Completion
+from repro.sim.crash import CrashInjector
 from repro.flash.page import PageState
 from repro.ftl.wear import WearConfig
 from repro.flash.geometry import FlashGeometry
@@ -131,6 +132,23 @@ class SolidStateCache:
         )
         self._writes_since_checkpoint = 0
         self._crashed = False
+        # Fault-injection hook (crash-state explorer) and the count of
+        # damaged log records the last recovery discarded.
+        self.injector: Optional[CrashInjector] = None
+        self.last_recovery_discarded = 0
+
+    def attach_injector(self, injector: CrashInjector) -> None:
+        """Wire a crash injector into every durability boundary.
+
+        After this, any armed tick inside the chip, the operation log or
+        the checkpoint store raises :class:`CrashError` through the
+        in-flight operation; the device transitions to the crashed state
+        (volatile log buffer lost) exactly as a power failure would.
+        """
+        self.injector = injector
+        self.chip.crash_injector = injector
+        self.oplog.injector = injector
+        self.checkpoints.injector = injector
 
     @classmethod
     def ssc(cls, geometry: Optional[FlashGeometry] = None, **overrides) -> "SolidStateCache":
@@ -183,6 +201,10 @@ class SolidStateCache:
         mark = recorder.begin()
         try:
             cost = body()
+        except CrashError:
+            recorder.end(mark)
+            self.crash()
+            raise
         except BaseException:
             recorder.end(mark)
             raise
@@ -371,14 +393,18 @@ class SolidStateCache:
         """Write a checkpoint of the forward maps and truncate the log."""
         if not self.oplog.enabled:
             return 0.0
-        cost = self.oplog.flush(sync=True)
-        seq = self.oplog.last_flushed_seq
-        checkpoint = Checkpoint(
-            seq=seq,
-            page_entries=self._page_entries_snapshot(),
-            block_entries=self._block_entries_snapshot(),
-        )
-        cost += self.checkpoints.write(checkpoint)
+        try:
+            cost = self.oplog.flush(sync=True)
+            seq = self.oplog.last_flushed_seq
+            checkpoint = Checkpoint(
+                seq=seq,
+                page_entries=self._page_entries_snapshot(),
+                block_entries=self._block_entries_snapshot(),
+            )
+            cost += self.checkpoints.write(checkpoint)
+        except CrashError:
+            self.crash()
+            raise
         cost += self.oplog.truncate_through(seq)
         self._writes_since_checkpoint = 0
         return cost
@@ -417,12 +443,16 @@ class SolidStateCache:
             raise ConfigError("budget_us must be >= 0")
         spent = 0.0
         erases_before = self.chip.stats.block_erases
-        while spent < budget_us:
-            step = self.engine.background_step()
-            if step == 0.0:
-                break
-            spent += step
-        spent += self._finish_op(sync=False, erases_before=erases_before)
+        try:
+            while spent < budget_us:
+                step = self.engine.background_step()
+                if step == 0.0:
+                    break
+                spent += step
+            spent += self._finish_op(sync=False, erases_before=erases_before)
+        except CrashError:
+            self.crash()
+            raise
         return spent
 
     def shutdown(self) -> float:
@@ -460,7 +490,8 @@ class SolidStateCache:
             )
         checkpoint = self.checkpoints.latest()
         from_seq = checkpoint.seq if checkpoint is not None else 0
-        records = self.oplog.records_after(from_seq)
+        records, discarded = self.oplog.intact_records_after(from_seq)
+        self.last_recovery_discarded = discarded
         state = recovery_mod.replay(
             checkpoint, records, self.engine.pages_per_block
         )

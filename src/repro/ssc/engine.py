@@ -245,6 +245,17 @@ class CacheFTL(HybridFTL):
         pending, self._pending_cost = self._pending_cost, 0.0
         return pending
 
+    def _pre_erase_barrier(self) -> float:
+        """Flush the operation log before any erase (write-ahead rule).
+
+        Mapping records superseding pages in the doomed block may still
+        sit in the volatile buffer; erasing first would let a crash
+        recover durable mappings that reference erased — and possibly
+        since-reused — flash.  Forcing the log makes the supersession
+        durable before the data is destroyed.
+        """
+        return self.oplog.flush(sync=True)
+
     # ------------------------------------------------------------------
     # Allocation: merges in a sparse address space can consume blocks
     # faster than they free them (most groups have no old data block to
@@ -266,13 +277,27 @@ class CacheFTL(HybridFTL):
     # mutate no forward map (the paper persists this via OOB updates).
     # ------------------------------------------------------------------
 
+    def _retire_block_copy(self, lpn: int, pbn: int) -> None:
+        offset = self._offset_of(lpn)
+        page = self.chip.block(pbn).pages[offset]
+        if page.state is PageState.VALID:
+            self.chip.block(pbn).invalidate(offset)
+            self.oplog.append(
+                RecordKind.INVALIDATE_PAGE,
+                lpn,
+                self.chip.geometry.make_ppn(pbn, offset),
+            )
+
     def _invalidate(self, lpn: int) -> float:
+        # Retire BOTH map levels: a recovered mapping may reference the
+        # same logical block through the page map and a block entry at
+        # once (e.g. after replaying a stale checkpoint), and leaving
+        # either copy live would resurrect the block after an evict.
         ppn = self.log_map.lookup(lpn)
         if ppn is not None:
             self.log_map.remove(lpn)  # journals REMOVE_PAGE
             pbn = self.chip.geometry.ppn_to_pbn(ppn)
             self.chip.block(pbn).invalidate(self.chip.geometry.ppn_to_offset(ppn))
-            return 0.0
         pbn = self.data_map.lookup(self._group_of(lpn))
         if pbn is not None:
             offset = self._offset_of(lpn)
@@ -391,7 +416,7 @@ class CacheFTL(HybridFTL):
             self.data_map.remove(group)  # journals REMOVE_BLOCK
         for offset in victim.valid_offsets():
             victim.invalidate(offset)
-        cost = self.chip.erase_block(victim.pbn)
+        cost = self._erase(victim.pbn)
         self.stats.silent_evictions += 1
         self.stats.evicted_valid_pages += evicted
         return cost

@@ -19,11 +19,15 @@ buffer is volatile.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import List
+from typing import List, Optional, Tuple
 
+from repro.errors import CrashError
 from repro.flash.timing import TimingModel
+from repro.sim.crash import CrashInjector, CrashPoint
+from repro.util.checksum import crc32_of
 
 
 class RecordKind(Enum):
@@ -37,6 +41,12 @@ class RecordKind(Enum):
     CLEAN = auto()            # block marked clean (future-evictable)
 
 
+def record_checksum(seq: int, kind: "RecordKind", lbn: int, ppn: int,
+                    extra: int) -> int:
+    """Per-record CRC over every field; detects torn log pages and bit rot."""
+    return crc32_of(seq, kind.name, lbn, ppn, extra)
+
+
 @dataclass(frozen=True)
 class LogRecord:
     """One durable mapping-change record.
@@ -46,6 +56,12 @@ class LogRecord:
     bitmap in the next 64 (the paper persists per-page state through
     out-of-band writes "near its associated data"; we journal it, which
     has the same durability and a simpler replay).
+
+    ``checksum`` covers every other field.  Recovery verifies it and
+    discards the log tail from the first damaged record onward, so a
+    torn log flush or flipped bit can lose buffered work but never
+    materialize a garbage mapping.  ``None`` (hand-built records in
+    tests) is treated as intact.
     """
 
     seq: int
@@ -53,11 +69,20 @@ class LogRecord:
     lbn: int
     ppn: int = 0
     extra: int = 0
+    checksum: Optional[int] = None
+
+    def is_intact(self) -> bool:
+        if self.checksum is None:
+            return True
+        return self.checksum == record_checksum(
+            self.seq, self.kind, self.lbn, self.ppn, self.extra
+        )
 
 
 #: Modeled on-flash size of one record: 8 B sequence number, 8 B logical
-#: address, 8 B physical address, 2 B kind/flags (paper §4.2.2 fields).
-RECORD_BYTES = 26
+#: address, 8 B physical address, 2 B kind/flags (paper §4.2.2 fields),
+#: plus a 4 B record CRC.
+RECORD_BYTES = 30
 
 
 class OperationLog:
@@ -68,6 +93,8 @@ class OperationLog:
         self.timing = timing
         self.page_size = page_size
         self.pages_per_block = pages_per_block
+        # Optional fault hook: ticks AFTER_LOG_FLUSH at every flush.
+        self.injector: Optional[CrashInjector] = None
         self._next_seq = 1
         self.buffer: List[LogRecord] = []
         self.flushed: List[LogRecord] = []
@@ -96,7 +123,10 @@ class OperationLog:
 
     def append(self, kind: RecordKind, lbn: int, ppn: int = 0, extra: int = 0) -> LogRecord:
         """Buffer a record; it becomes durable at the next flush."""
-        record = LogRecord(self._next_seq, kind, lbn, ppn, extra)
+        record = LogRecord(
+            self._next_seq, kind, lbn, ppn, extra,
+            checksum=record_checksum(self._next_seq, kind, lbn, ppn, extra),
+        )
         self._next_seq += 1
         self.buffer.append(record)
         return record
@@ -126,7 +156,39 @@ class OperationLog:
             self.sync_flushes += 1
         else:
             self.async_flushes += 1
+        if self.injector is not None:
+            try:
+                self.injector.tick(CrashPoint.AFTER_LOG_FLUSH)
+            except CrashError:
+                if self.injector.torn:
+                    self._tear_flush_tail(count)
+                raise
         return pages * self.timing.write_cost()
+
+    def _tear_flush_tail(self, count: int) -> None:
+        """Power failed mid-flush: only a prefix of the ``count`` records
+        just written reached flash whole.
+
+        NAND tears at *page* granularity: log pages programmed before the
+        cut are complete, the page being programmed when power failed
+        reads back damaged, and later pages were never started.  So the
+        survivors are the records of the whole pages, plus the first
+        record of the torn page persisted with damaged contents (its
+        stored CRC no longer matches); everything after it is lost.  A
+        flush smaller than one log page is therefore all-or-nothing —
+        which is what keeps multi-record operations (REMOVE + INSERT of
+        a replace, a merge's record group) atomic under torn writes.
+        """
+        records_per_page = max(1, self.page_size // RECORD_BYTES)
+        start = len(self.flushed) - count
+        keep = ((count // 2) // records_per_page) * records_per_page
+        survivors = self.flushed[: start + keep]
+        if keep < count:
+            torn = self.flushed[start + keep]
+            # Field damaged by the cut; the stored checksum goes stale.
+            survivors.append(dataclasses.replace(torn, lbn=torn.lbn ^ (1 << 61)))
+        self.flushed = survivors
+        self.flushed_bytes = len(self.flushed) * RECORD_BYTES
 
     def truncate_through(self, seq: int) -> float:
         """Drop durable records with sequence <= ``seq`` (checkpointed).
@@ -145,6 +207,20 @@ class OperationLog:
     def records_after(self, seq: int) -> List[LogRecord]:
         """Durable records with sequence > ``seq`` (for roll-forward)."""
         return [record for record in self.flushed if record.seq > seq]
+
+    def intact_records_after(self, seq: int) -> Tuple[List[LogRecord], int]:
+        """Checksum-verified roll-forward records, plus the discard count.
+
+        The log is a sequential structure: once one record fails its CRC
+        (torn flush, bit rot), nothing after it can be trusted — replay
+        order matters — so recovery discards the tail from the first
+        damaged record onward rather than materializing garbage mappings.
+        """
+        candidates = self.records_after(seq)
+        for index, record in enumerate(candidates):
+            if not record.is_intact():
+                return candidates[:index], len(candidates) - index
+        return candidates, 0
 
     def drop_buffer(self) -> int:
         """Simulate a crash: volatile records are lost; returns the count."""
@@ -170,7 +246,10 @@ class NvramOperationLog(OperationLog):
     """
 
     def append(self, kind: RecordKind, lbn: int, ppn: int = 0, extra: int = 0) -> LogRecord:
-        record = LogRecord(self._next_seq, kind, lbn, ppn, extra)
+        record = LogRecord(
+            self._next_seq, kind, lbn, ppn, extra,
+            checksum=record_checksum(self._next_seq, kind, lbn, ppn, extra),
+        )
         self._next_seq += 1
         self.flushed.append(record)
         self.flushed_bytes += RECORD_BYTES

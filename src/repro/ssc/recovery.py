@@ -30,9 +30,10 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import RecoveryError
 from repro.flash.block import BlockKind
-from repro.flash.page import PageState
+from repro.flash.page import Page, PageState
 from repro.ssc.checkpoint import Checkpoint
 from repro.ssc.log import LogRecord, RecordKind
+from repro.util.checksum import crc32_of_payload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ssc.engine import CacheFTL
@@ -40,6 +41,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _VALID_SHIFT = 64
 _LOW64 = (1 << 64) - 1
+
+
+def _page_intact(page: Page) -> bool:
+    """True if the page's OOB checksum matches its payload.
+
+    A torn program (power cut mid-write) or bit rot leaves a page whose
+    stored checksum cannot verify; recovery must treat it as damaged and
+    never surface its contents.  Pages stamped before checksums existed
+    (``checksum is None``) are trusted, matching the log-record rule.
+    """
+    if page.oob is None:
+        return False
+    if page.oob.checksum is None:
+        return True
+    return page.oob.checksum == crc32_of_payload(page.oob.lbn, page.data)
 
 
 @dataclass
@@ -156,12 +172,26 @@ def materialize(engine: "CacheFTL", state: RecoveredState) -> None:
     engine._seq_log = None
     engine._seq_next_lpn = None
     engine._last_lpn = None
+    # A crash may have struck mid-merge or mid-eviction; none of that
+    # transient state survives into the recovered engine.
+    engine._gc_protected.clear()
+    engine._pending_cost = 0.0
+    engine._allocate_hot = False
 
     # Rebuild the forward maps without journaling (the log already
-    # holds, or held, these mappings).
+    # holds, or held, these mappings).  Page entries are installed only
+    # when the target page corroborates them — VALID after reconcile
+    # and OOB-stamped with the same logical block — so a stale entry
+    # can never route reads to some other block's data.
     engine.log_map.inner = type(engine.log_map.inner)()
     for lbn, (ppn, _dirty) in state.page_entries.items():
-        engine.log_map.inner.insert(lbn, ppn)
+        page = chip.page(ppn)
+        if (
+            page.state is PageState.VALID
+            and page.oob is not None
+            and page.oob.lbn == lbn
+        ):
+            engine.log_map.inner.insert(lbn, ppn)
     engine.data_map.inner = type(engine.data_map.inner)()
     for group, entry in state.block_entries.items():
         engine.data_map.inner.insert(group, entry.pbn)
@@ -176,12 +206,21 @@ def _reconcile_block(engine, plane, block, expected_pages, expected_blocks,
     block.dirty_count = 0
 
     if block.pbn in expected_blocks:
-        _group, entry = expected_blocks[block.pbn]
+        group, entry = expected_blocks[block.pbn]
+        base = group * engine.pages_per_block
         block.kind = BlockKind.DATA
         for offset, page in enumerate(block.pages):
             if page.oob is None:
                 continue  # hole: never programmed since last erase
-            if entry.valid_bitmap >> offset & 1:
+            # The OOB reverse map must agree with the forward mapping:
+            # a stale block entry (recovered from an old checkpoint over
+            # a gapped log) may reference a block since erased and
+            # reused, whose pages now hold other logical blocks' data.
+            if (
+                entry.valid_bitmap >> offset & 1
+                and page.oob.lbn == base + offset
+                and _page_intact(page)
+            ):
                 page.state = PageState.VALID
                 page.oob.dirty = bool(entry.dirty_bitmap >> offset & 1)
                 block.valid_count += 1
@@ -214,7 +253,7 @@ def _reconcile_block(engine, plane, block, expected_pages, expected_blocks,
     for offset, page in programmed:
         ppn = geometry.make_ppn(block.pbn, offset)
         expected = expected_pages.get(ppn)
-        if expected is not None and page.oob.lbn == expected[0]:
+        if expected is not None and page.oob.lbn == expected[0] and _page_intact(page):
             page.state = PageState.VALID
             page.oob.dirty = expected[1]
             block.valid_count += 1

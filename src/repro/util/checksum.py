@@ -41,3 +41,14 @@ def crc32_of_pairs(pairs: Iterable[Tuple[int, int]]) -> int:
     for a, b in pairs:
         crc = zlib.crc32(f"{a}:{b};".encode("ascii"), crc)
     return crc & 0xFFFFFFFF
+
+
+def crc32_of_payload(lbn: Union[int, None], data: object) -> int:
+    """OOB checksum binding a page's payload to its logical address.
+
+    The simulator stores opaque payload tokens rather than raw bytes, so
+    the stable ``repr`` of the token stands in for the page contents.
+    Covering ``lbn`` as well means a page whose data was damaged *or*
+    whose reverse map was torn mid-program both fail verification.
+    """
+    return crc32_of(lbn, repr(data))
