@@ -1,0 +1,77 @@
+"""Wall-clock throughput of the replay pipeline (host-performance bench).
+
+Unlike the other benchmarks — which report *simulated* metrics and are
+bit-reproducible anywhere — this one measures how fast the host executes
+the simulator itself: records/sec through trace dispatch, the cache
+manager, the FTL, the sparse map, completion tracing and the event
+engine.  The scenario matrix is fixed-seed, so the work performed is
+identical across commits; only the wall-clock changes.
+
+The same harness backs ``repro bench`` (see
+:mod:`repro.perf.wallclock`); the repo-root ``BENCH_wallclock.json``
+baseline and the CI perf-smoke gate are described in
+``docs/benchmarking.md``.  Pass ``--benchmark-only`` to skip the rest of
+the suite, and set ``REPRO_BENCH_FULL=1`` to run the full committed
+matrix instead of the CI-sized quick one.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.perf.wallclock import (
+    BENCH_FILENAME,
+    compare_reports,
+    default_matrix,
+    quick_matrix,
+    run_bench,
+    validate_report,
+)
+from repro.stats.report import format_table
+
+from benchmarks.common import once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_wallclock_matrix():
+    matrix = default_matrix() if os.environ.get("REPRO_BENCH_FULL") else quick_matrix()
+    return run_bench(**matrix)
+
+
+def test_wallclock_throughput(benchmark):
+    report = once(benchmark, run_wallclock_matrix)
+    validate_report(report)
+
+    rows = [
+        [
+            entry["workload"],
+            entry["system"],
+            entry["mode"],
+            str(entry["queue_depth"]),
+            f"{entry['records_per_sec']:,.0f}",
+            f"{entry['sim']['iops']:,.0f}",
+        ]
+        for entry in report["results"]
+    ]
+    print()
+    print(
+        format_table(
+            ["workload", "system", "mode", "QD", "rec/s (wall)", "IOPS (sim)"],
+            rows,
+            title="Wall-clock replay throughput",
+        )
+    )
+
+    baseline_path = REPO_ROOT / BENCH_FILENAME
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        failures, warnings = compare_reports(report, baseline)
+        for line in warnings:
+            print(f"warning: {line}")
+        # Scenarios absent from the quick matrix only produce warnings;
+        # wall-clock regressions on shared scenarios would be failures,
+        # but pytest-benchmark runs are too noisy to gate on here — the
+        # CI perf-smoke job owns the hard gate.
+        print(f"\n{len(failures)} regression(s) vs committed baseline "
+              f"(informational; CI gates separately)")

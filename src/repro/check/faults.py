@@ -75,4 +75,7 @@ def flip_checkpoint(ssc: SolidStateCache, rng: random.Random) -> bool:
         checkpoint.block_entries[0] = (group ^ 1, pbn, dirty_bm, valid_bm)
     else:
         checkpoint.checksum ^= 0x1
+    # In-place entry mutation bypasses the memoized entry CRC; drop it
+    # so is_intact() re-reads the damaged contents.
+    checkpoint.invalidate_checksum_memo()
     return True

@@ -130,24 +130,27 @@ class ReplayEngine:
         resources; untraced service time (controller/log overhead) is
         serial within the request and never waits.
         """
+        busy = stats.device_busy_us
         if serial:
             # One outstanding request: every resource is idle at
             # dispatch by construction, so the request runs exactly as
             # in serial replay — finish is computed from the total
             # service time alone, which is what makes queue_depth=1
             # reproduce replay_trace() bit-for-bit.
-            for op in completion.ops:
-                stats.add_busy(op.resource, op.duration_us)
+            for resource_key, _kind, duration_us in completion.ops:
+                busy[resource_key] = busy.get(resource_key, 0.0) + duration_us
             return 0.0, at_us + float(completion)
         wait_us = 0.0
         cursor = at_us
-        for op in completion.ops:
-            start, finish = self._resource(op.resource).reserve(
-                cursor, op.duration_us
-            )
+        resources = self._resources
+        for resource_key, _kind, duration_us in completion.ops:
+            resource = resources.get(resource_key)
+            if resource is None:
+                resource = self._resource(resource_key)
+            start, finish = resource.reserve(cursor, duration_us)
             wait_us += start - cursor
             cursor = finish
-            stats.add_busy(op.resource, op.duration_us)
+            busy[resource_key] = busy.get(resource_key, 0.0) + duration_us
         return wait_us, at_us + wait_us + float(completion)
 
     # ------------------------------------------------------------------

@@ -71,6 +71,15 @@ class FlashChip:
                 for pbn in self.geometry.blocks_in_plane(plane_id)
             ]
             self.planes.append(Plane(plane_id, blocks))
+        # Interned "plane:<n>" keys, indexed by plane id (op-trace hot path).
+        self._plane_keys = [
+            plane_resource(plane_id) for plane_id in range(self.geometry.planes)
+        ]
+        # The timing model is frozen, so per-op costs are constants.
+        self._read_cost_us = self.timing.read_cost()
+        self._write_cost_us = self.timing.write_cost()
+        self._erase_cost_us = self.timing.erase_cost()
+        self._oob_read_cost_us = self.timing.oob_read_cost()
         self._write_seq = 0
 
     # ---- lookup helpers --------------------------------------------------
@@ -81,14 +90,17 @@ class FlashChip:
 
     def block(self, pbn: int) -> EraseBlock:
         """Erase block ``pbn``."""
-        return self.plane_of_block(pbn).block(pbn)
+        geo = self.geometry
+        geo.check_pbn(pbn)
+        return self.planes[pbn // geo.blocks_per_plane].blocks[pbn]
 
     def page(self, ppn: int) -> Page:
         """Page object for ``ppn`` (no timing cost; simulator internal)."""
-        self.geometry.check_ppn(ppn)
-        pbn = self.geometry.ppn_to_pbn(ppn)
-        offset = self.geometry.ppn_to_offset(ppn)
-        return self.block(pbn).pages[offset]
+        geo = self.geometry
+        geo.check_ppn(ppn)
+        pbn = ppn // geo.pages_per_block
+        plane = self.planes[pbn // geo.blocks_per_plane]
+        return plane.blocks[pbn].pages[ppn - pbn * geo.pages_per_block]
 
     def next_seq(self) -> int:
         """Monotonic write sequence number stamped into each page's OOB."""
@@ -99,7 +111,7 @@ class FlashChip:
         return ppn // self.geometry.pages_per_block // self.geometry.blocks_per_plane
 
     def _record_op(self, plane_id: int, kind: str, cost: float) -> None:
-        self.op_recorder.record(plane_resource(plane_id), kind, cost)
+        self.op_recorder.record(self._plane_keys[plane_id], kind, cost)
 
     # ---- availability ------------------------------------------------------
 
@@ -118,7 +130,7 @@ class FlashChip:
         that is meaningful.
         """
         page = self.page(ppn)
-        cost = self.timing.read_cost()
+        cost = self._read_cost_us
         self.stats.page_reads += 1
         self.stats.busy_us += cost
         if self.op_recorder.active:
@@ -134,9 +146,9 @@ class FlashChip:
         checksum binding the payload to its logical address is stamped
         here, so every programmed page is verifiable at recovery.
         """
-        self.geometry.check_ppn(ppn)
-        pbn = self.geometry.ppn_to_pbn(ppn)
-        offset = self.geometry.ppn_to_offset(ppn)
+        geo = self.geometry
+        geo.check_ppn(ppn)
+        pbn, offset = divmod(ppn, geo.pages_per_block)
         injector = self.crash_injector
         if injector is not None:
             try:
@@ -149,8 +161,11 @@ class FlashChip:
                 raise
         if oob.checksum is None:
             oob.checksum = crc32_of_payload(oob.lbn, data)
-        self.block(pbn).program(offset, data, oob)
-        cost = self.timing.write_cost()
+        # ppn was range-checked above; skip block()'s redundant check.
+        self.planes[pbn // geo.blocks_per_plane].blocks[pbn].program(
+            offset, data, oob
+        )
+        cost = self._write_cost_us
         self.stats.page_writes += 1
         self.stats.busy_us += cost
         if self.op_recorder.active:
@@ -164,7 +179,7 @@ class FlashChip:
         block = self.block(pbn)
         block.erase()
         self.plane_of_block(pbn).release(block)
-        cost = self.timing.erase_cost()
+        cost = self._erase_cost_us
         self.stats.block_erases += 1
         self.stats.busy_us += cost
         if self.op_recorder.active:
@@ -174,7 +189,7 @@ class FlashChip:
     def scan_oob(self, ppn: int) -> Tuple[Optional[OOBData], "PageState", float]:
         """Read only the OOB area of ``ppn`` (used by native recovery)."""
         page = self.page(ppn)
-        cost = self.timing.oob_read_cost()
+        cost = self._oob_read_cost_us
         self.stats.oob_scans += 1
         self.stats.busy_us += cost
         if self.op_recorder.active:

@@ -10,7 +10,7 @@ indexes over the whole chip; this module converts between them and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, InvalidAddressError
 
@@ -29,34 +29,25 @@ class FlashGeometry:
     page_size: int = 4096
     oob_bytes: int = 64
 
+    # Derived sizes, computed once at construction (the geometry is
+    # frozen).  These sit on the per-op address-check path, so they are
+    # plain attributes rather than recomputing properties.
+    total_blocks: int = field(init=False, repr=False, compare=False)
+    total_pages: int = field(init=False, repr=False, compare=False)
+    block_size: int = field(init=False, repr=False, compare=False)
+    capacity_bytes: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self):
         for name in ("planes", "blocks_per_plane", "pages_per_block", "page_size"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
         if self.oob_bytes < 0:
             raise ConfigError("oob_bytes must be >= 0")
-
-    # ---- derived sizes -------------------------------------------------
-
-    @property
-    def total_blocks(self) -> int:
-        """Erase blocks on the whole chip."""
-        return self.planes * self.blocks_per_plane
-
-    @property
-    def total_pages(self) -> int:
-        """Pages on the whole chip."""
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def block_size(self) -> int:
-        """Bytes per erase block (256 KB with default parameters)."""
-        return self.pages_per_block * self.page_size
-
-    @property
-    def capacity_bytes(self) -> int:
-        """Raw chip capacity in bytes."""
-        return self.total_pages * self.page_size
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "total_blocks", self.planes * self.blocks_per_plane)
+        set_attr(self, "total_pages", self.total_blocks * self.pages_per_block)
+        set_attr(self, "block_size", self.pages_per_block * self.page_size)
+        set_attr(self, "capacity_bytes", self.total_pages * self.page_size)
 
     # ---- address conversions -------------------------------------------
 

@@ -8,8 +8,9 @@ clean" (paper §4.3) — so free-block accounting lives here.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Deque, Dict, Iterable, List
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import InvalidAddressError
 from repro.flash.block import BlockKind, EraseBlock
@@ -29,7 +30,25 @@ class Plane:
     def __init__(self, plane_id: int, blocks: List[EraseBlock]):
         self.plane_id = plane_id
         self.blocks: Dict[int, EraseBlock] = {block.pbn: block for block in blocks}
+        # The free pool keeps three views: a membership set (the truth,
+        # O(1) is_free / removal), a FIFO deque (allocation order when
+        # wear leveling is off; may hold stale entries that the set
+        # filters out), and two lazily-invalidated wear heaps so
+        # allocation finds the least-/most-worn free block without the
+        # O(free) scan it used to do.  Heap entries are validated on
+        # peek: a block's erase count cannot change while it is free, so
+        # an entry is stale iff its pbn left the pool or was re-released
+        # after another erase (higher count).
+        self._free_set: Set[int] = set(self.blocks)
         self._free: Deque[int] = deque(sorted(self.blocks))
+        self._wear_heap: List[Tuple[int, int]] = [
+            (self.blocks[pbn].erase_count, pbn) for pbn in self._free
+        ]
+        self._hot_heap: List[Tuple[int, int]] = [
+            (-self.blocks[pbn].erase_count, -pbn) for pbn in self._free
+        ]
+        heapq.heapify(self._wear_heap)
+        heapq.heapify(self._hot_heap)
         self.busy_until_us = 0.0
 
     @property
@@ -39,7 +58,7 @@ class Plane:
     @property
     def free_count(self) -> int:
         """Number of erased, unassigned blocks."""
-        return len(self._free)
+        return len(self._free_set)
 
     def block(self, pbn: int) -> EraseBlock:
         """Look up a block owned by this plane."""
@@ -56,28 +75,59 @@ class Plane:
         Raises IndexError if the plane has no free blocks; callers run
         garbage collection / silent eviction before hitting this.
         """
-        if not self._free:
-            raise IndexError(f"plane {self.plane_id} has no free blocks")
-        pbn = self._free.popleft()
-        block = self.blocks[pbn]
-        block.kind = kind
-        return block
+        free_set = self._free_set
+        while self._free:
+            pbn = self._free.popleft()
+            if pbn in free_set:
+                free_set.discard(pbn)
+                block = self.blocks[pbn]
+                block.kind = kind
+                return block
+        raise IndexError(f"plane {self.plane_id} has no free blocks")
 
     def allocate_specific(self, pbn: int, kind: BlockKind) -> EraseBlock:
-        """Take a *particular* free block (wear-leveling allocation)."""
-        try:
-            self._free.remove(pbn)
-        except ValueError:
+        """Take a *particular* free block (wear-leveling allocation).
+
+        The stale deque/heap entries are filtered lazily by later
+        allocations, so removal here is O(1).
+        """
+        if pbn not in self._free_set:
             raise InvalidAddressError(
                 f"block {pbn} is not free in plane {self.plane_id}"
-            ) from None
+            )
+        self._free_set.discard(pbn)
         block = self.blocks[pbn]
         block.kind = kind
         return block
 
     def free_pbns(self):
         """Iterate the free blocks' numbers (oldest-freed first)."""
-        return iter(self._free)
+        seen: Set[int] = set()
+        for pbn in self._free:
+            if pbn in self._free_set and pbn not in seen:
+                seen.add(pbn)
+                yield pbn
+
+    def least_worn_free(self) -> Optional[int]:
+        """PBN of the free block with the lowest (erase_count, pbn), or None."""
+        heap = self._wear_heap
+        while heap:
+            erase_count, pbn = heap[0]
+            if pbn in self._free_set and self.blocks[pbn].erase_count == erase_count:
+                return pbn
+            heapq.heappop(heap)
+        return None
+
+    def most_worn_free(self) -> Optional[int]:
+        """PBN of the free block with the highest (erase_count, pbn), or None."""
+        heap = self._hot_heap
+        while heap:
+            neg_erase, neg_pbn = heap[0]
+            pbn = -neg_pbn
+            if pbn in self._free_set and self.blocks[pbn].erase_count == -neg_erase:
+                return pbn
+            heapq.heappop(heap)
+        return None
 
     def release(self, block: EraseBlock) -> None:
         """Return an erased block to the free list (after ``erase()``)."""
@@ -90,11 +140,14 @@ class Plane:
                 f"block {block.pbn} must be erased before release "
                 f"(kind={block.kind.name})"
             )
+        self._free_set.add(block.pbn)
         self._free.append(block.pbn)
+        heapq.heappush(self._wear_heap, (block.erase_count, block.pbn))
+        heapq.heappush(self._hot_heap, (-block.erase_count, -block.pbn))
 
     def is_free(self, pbn: int) -> bool:
         """True if block ``pbn`` sits on this plane's free list."""
-        return pbn in self._free
+        return pbn in self._free_set
 
     def reserve(self, start_us: float, duration_us: float):
         """Claim this plane for ``duration_us``, no earlier than ``start_us``.

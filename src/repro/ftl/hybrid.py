@@ -525,20 +525,20 @@ class HybridFTL:
         fresh data block, then erase the group's old data block."""
         cost = 0.0
         old_pbn = self.data_map.lookup(group)
-        base_lpn = group * self.pages_per_block
+        pages_per_block = self.pages_per_block
+        base_lpn = group * pages_per_block
 
         live = []  # (offset, source_ppn)
-        for offset in range(self.pages_per_block):
+        old_pages = None if old_pbn is None else self.chip.block(old_pbn).pages
+        old_base_ppn = None if old_pbn is None else old_pbn * pages_per_block
+        for offset in range(pages_per_block):
             lpn = base_lpn + offset
             ppn = self.log_map.lookup(lpn)
             if ppn is not None:
                 live.append((offset, ppn))
-            elif old_pbn is not None:
-                page = self.chip.block(old_pbn).pages[offset]
-                if page.state is PageState.VALID:
-                    live.append(
-                        (offset, self.chip.geometry.make_ppn(old_pbn, offset))
-                    )
+            elif old_pages is not None:
+                if old_pages[offset].state is PageState.VALID:
+                    live.append((offset, old_base_ppn + offset))
 
         if old_pbn is not None:
             self._gc_protected.add(old_pbn)
@@ -548,23 +548,22 @@ class HybridFTL:
             else:
                 new_block = self._allocate_block(BlockKind.DATA)
                 self._gc_protected.add(new_block.pbn)
+                chip = self.chip
+                new_base_ppn = new_block.pbn * pages_per_block
                 for offset, src_ppn in live:
-                    data, oob, read_cost = self.chip.read_page(src_ppn)
+                    data, oob, read_cost = chip.read_page(src_ppn)
                     cost += read_cost
                     self.stats.gc_page_reads += 1
-                    dst_ppn = self.chip.geometry.make_ppn(new_block.pbn, offset)
                     new_oob = OOBData(
                         lbn=base_lpn + offset,
                         dirty=bool(oob and oob.dirty),
-                        seq=self.chip.next_seq(),
+                        seq=chip.next_seq(),
                     )
-                    cost += self.chip.program_page(dst_ppn, data, new_oob)
+                    cost += chip.program_page(new_base_ppn + offset, data, new_oob)
                     self.stats.gc_page_writes += 1
                     # Invalidate the source copy and drop any log mapping.
-                    src_pbn = self.chip.geometry.ppn_to_pbn(src_ppn)
-                    self.chip.block(src_pbn).invalidate(
-                        self.chip.geometry.ppn_to_offset(src_ppn)
-                    )
+                    src_pbn, src_offset = divmod(src_ppn, pages_per_block)
+                    chip.block(src_pbn).invalidate(src_offset)
                     self.log_map.remove(base_lpn + offset)
                 self.data_map.insert(group, new_block.pbn)
                 self._gc_protected.discard(new_block.pbn)

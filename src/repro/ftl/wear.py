@@ -65,10 +65,9 @@ class WearLeveler:
         """
         if not self.config.dynamic or plane.free_count == 0:
             return plane.allocate(kind)
-        selector = max if hottest else min
-        best_pbn = selector(
-            plane.free_pbns(), key=lambda pbn: (plane.blocks[pbn].erase_count, pbn)
-        )
+        # The plane keeps lazily-invalidated wear heaps, so both
+        # extremes are O(log free) instead of a scan of the free pool.
+        best_pbn = plane.most_worn_free() if hottest else plane.least_worn_free()
         return plane.allocate_specific(best_pbn, kind)
 
     # ---- static --------------------------------------------------------

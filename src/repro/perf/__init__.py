@@ -1,0 +1,32 @@
+"""Wall-clock performance harness (``repro bench``).
+
+The simulator's other benchmarks measure *simulated* quantities —
+IOPS of the modeled device, erase counts, miss rates.  This package
+measures the simulator itself: how many trace records per second of
+*wall-clock* time the replay pipeline sustains.  Every PR inherits the
+committed ``BENCH_wallclock.json`` baseline at the repo root, and CI
+fails when throughput regresses beyond tolerance, so the performance
+trajectory of the hot paths is part of the test surface.
+"""
+
+from repro.perf.wallclock import (
+    BENCH_FILENAME,
+    SCHEMA_VERSION,
+    ZIPF_PROFILE,
+    compare_reports,
+    default_matrix,
+    quick_matrix,
+    run_bench,
+    validate_report,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "SCHEMA_VERSION",
+    "ZIPF_PROFILE",
+    "compare_reports",
+    "default_matrix",
+    "quick_matrix",
+    "run_bench",
+    "validate_report",
+]

@@ -1,0 +1,273 @@
+"""Reproducible wall-clock benchmark of the replay pipeline.
+
+A *scenario* fixes everything the simulator sees — workload profile,
+RNG seed, scale, manager kind, write mode, queue depth — so the work
+performed is bit-identical across machines and commits.  What varies is
+how fast the host executes it: ``records_per_sec`` is the wall-clock
+throughput of the whole replay pipeline (trace dispatch, manager, FTL,
+sparse map, completion tracing, event scheduling).
+
+The report schema is versioned and append-only (see
+:meth:`~repro.stats.counters.ReplayStats.to_dict`): tools that compare
+``BENCH_wallclock.json`` files across PRs may rely on every existing
+key keeping its meaning.
+
+Comparison policy (:func:`compare_reports`): wall-clock throughput may
+regress up to ``max_regress`` (CI uses 20 %) before the gate fails;
+*simulated* metrics (IOPS, hit counts) are deterministic for a fixed
+scenario, so drift there is reported as a warning — it means device
+semantics changed, which the differential test layer must have blessed.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.config import CacheMode, SystemConfig, SystemKind
+from repro.core.flashtier import build_system
+from repro.traces.synthetic import PROFILES, WorkloadProfile, generate_trace
+
+#: Bump when a key is renamed/removed (never do that) or re-interpreted.
+SCHEMA_VERSION = 1
+
+#: Canonical baseline location at the repo root.
+BENCH_FILENAME = "BENCH_wallclock.json"
+
+#: §6.5 warm-up, same convention as the simulated-results benchmarks.
+WARMUP_FRACTION = 0.15
+
+#: The reference Zipf workload: pure skewed random references, no
+#: sequential runs, a 70/30 read/write mix.  This is the acceptance
+#: workload for hot-path optimizations — it hammers the sparse map and
+#: the log-write path without the sequential-log fast paths masking
+#: anything.
+ZIPF_PROFILE = WorkloadProfile(
+    name="zipf",
+    address_range_blocks=200_000,
+    unique_blocks=20_000,
+    total_ops=60_000,
+    write_fraction=0.30,
+    zipf_alpha=1.1,
+    sequential_prob=0.0,
+    run_length_mean=1,
+)
+
+#: The three managers of the paper's comparison, one per system kind:
+#: the native FlashCache manager (write-back), the FlashTier
+#: write-through manager on the SSC, and the FlashTier write-back
+#: manager on the SSC-R.
+SYSTEMS: Tuple[Tuple[SystemKind, CacheMode], ...] = (
+    (SystemKind.NATIVE, CacheMode.WRITE_BACK),
+    (SystemKind.SSC, CacheMode.WRITE_THROUGH),
+    (SystemKind.SSC_R, CacheMode.WRITE_BACK),
+)
+
+
+def _profile(name: str) -> WorkloadProfile:
+    if name == ZIPF_PROFILE.name:
+        return ZIPF_PROFILE
+    return PROFILES[name]
+
+
+def default_matrix() -> Dict[str, Sequence]:
+    """The full committed-baseline matrix."""
+    return {
+        "workloads": ("zipf", "homes", "usr"),
+        "queue_depths": (1, 8, 32),
+        "scale": 0.05,
+        "seed": 1,
+    }
+
+
+def quick_matrix() -> Dict[str, Sequence]:
+    """A CI-sized subset (perf smoke): one workload, two depths.
+
+    Scale and seed match :func:`default_matrix` so the shared scenarios
+    are bit-identical with the committed baseline — the compare step
+    then reports only genuine drift, never scale-mismatch noise.
+    """
+    return {
+        "workloads": ("zipf",),
+        "queue_depths": (1, 8),
+        "scale": 0.05,
+        "seed": 1,
+    }
+
+
+def _scenario_key(entry: Dict) -> Tuple:
+    return (
+        entry["workload"],
+        entry["system"],
+        entry["mode"],
+        entry["queue_depth"],
+    )
+
+
+def run_bench(
+    workloads: Iterable[str] = ("zipf", "homes", "usr"),
+    queue_depths: Iterable[int] = (1, 8, 32),
+    scale: float = 0.05,
+    seed: int = 1,
+    systems: Sequence[Tuple[SystemKind, CacheMode]] = SYSTEMS,
+    progress=None,
+) -> Dict:
+    """Run the benchmark matrix; returns the schema-versioned report.
+
+    ``progress`` is an optional callable invoked with one line per
+    completed scenario (the CLI passes ``print``).
+    """
+    results: List[Dict] = []
+    for workload in workloads:
+        profile = _profile(workload).scaled(scale)
+        trace = generate_trace(profile, seed=seed)
+        records = trace.records
+        for kind, mode in systems:
+            for depth in queue_depths:
+                system = build_system(
+                    SystemConfig(
+                        kind=kind,
+                        mode=mode,
+                        cache_blocks=profile.cache_blocks(),
+                        disk_blocks=profile.address_range_blocks,
+                    )
+                )
+                begin = time.perf_counter()
+                stats = system.replay(
+                    records,
+                    warmup_fraction=WARMUP_FRACTION,
+                    queue_depth=depth,
+                )
+                wallclock_s = time.perf_counter() - begin
+                entry = {
+                    "workload": workload,
+                    "system": kind.value,
+                    "mode": mode.value,
+                    "queue_depth": depth,
+                    "records": len(records),
+                    "wallclock_s": wallclock_s,
+                    "records_per_sec": (
+                        len(records) / wallclock_s if wallclock_s > 0 else 0.0
+                    ),
+                    "sim": stats.to_dict(),
+                }
+                results.append(entry)
+                if progress is not None:
+                    progress(
+                        f"  {workload:<6} {kind.value:<6} {mode.value} "
+                        f"QD={depth:<3} {entry['records_per_sec']:>10,.0f} rec/s "
+                        f"(sim {stats.iops():,.0f} IOPS)"
+                    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "workloads": list(workloads),
+            "queue_depths": list(queue_depths),
+            "scale": scale,
+            "seed": seed,
+            "warmup_fraction": WARMUP_FRACTION,
+            "systems": [
+                {"system": kind.value, "mode": mode.value} for kind, mode in systems
+            ],
+        },
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def validate_report(report: Dict) -> None:
+    """Raise ValueError unless ``report`` matches the schema."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    for section in ("config", "host", "results"):
+        if section not in report:
+            raise ValueError(f"report is missing the {section!r} section")
+    if not isinstance(report["results"], list) or not report["results"]:
+        raise ValueError("results must be a non-empty list")
+    entry_keys = {
+        "workload", "system", "mode", "queue_depth",
+        "records", "wallclock_s", "records_per_sec", "sim",
+    }
+    sim_keys = {
+        "ops", "reads", "writes", "read_hits", "read_misses",
+        "elapsed_us", "queue_depth", "iops", "miss_rate_pct",
+        "latency", "service", "queue_wait", "device_busy_us",
+    }
+    latency_keys = {"count", "mean_us", "max_us", "total_us"}
+    seen = set()
+    for entry in report["results"]:
+        missing = entry_keys - set(entry)
+        if missing:
+            raise ValueError(f"result entry missing keys: {sorted(missing)}")
+        key = _scenario_key(entry)
+        if key in seen:
+            raise ValueError(f"duplicate scenario {key}")
+        seen.add(key)
+        sim = entry["sim"]
+        missing = sim_keys - set(sim)
+        if missing:
+            raise ValueError(f"sim block missing keys: {sorted(missing)}")
+        for dist in ("latency", "service", "queue_wait"):
+            missing = latency_keys - set(sim[dist])
+            if missing:
+                raise ValueError(
+                    f"sim.{dist} missing keys: {sorted(missing)}"
+                )
+
+
+def compare_reports(
+    current: Dict, baseline: Dict, max_regress: float = 0.20
+) -> Tuple[List[str], List[str]]:
+    """Compare a fresh run against a committed baseline.
+
+    Returns ``(failures, warnings)``.  A failure is a wall-clock
+    throughput regression beyond ``max_regress`` on a scenario present
+    in both reports; a warning is simulated-metric drift (deterministic
+    for a fixed scenario, so it signals a semantic change) or a
+    scenario present on only one side.
+    """
+    validate_report(current)
+    validate_report(baseline)
+    failures: List[str] = []
+    warnings: List[str] = []
+    base_by_key = {_scenario_key(e): e for e in baseline["results"]}
+    current_by_key = {_scenario_key(e): e for e in current["results"]}
+
+    for key in base_by_key.keys() - current_by_key.keys():
+        warnings.append(f"scenario {key} in baseline but not in this run")
+    for key in current_by_key.keys() - base_by_key.keys():
+        warnings.append(f"scenario {key} new in this run (no baseline)")
+
+    for key in sorted(base_by_key.keys() & current_by_key.keys()):
+        base, cur = base_by_key[key], current_by_key[key]
+        base_rps, cur_rps = base["records_per_sec"], cur["records_per_sec"]
+        if base_rps > 0 and cur_rps < base_rps * (1.0 - max_regress):
+            failures.append(
+                f"{key}: {cur_rps:,.0f} rec/s is "
+                f"{100 * (1 - cur_rps / base_rps):.1f}% below baseline "
+                f"{base_rps:,.0f} rec/s (tolerance {100 * max_regress:.0f}%)"
+            )
+        if base["records"] != cur["records"]:
+            warnings.append(
+                f"{key}: trace length changed "
+                f"({base['records']} -> {cur['records']})"
+            )
+            continue
+        for metric in ("iops", "read_hits", "read_misses", "elapsed_us"):
+            if base["sim"][metric] != cur["sim"][metric]:
+                warnings.append(
+                    f"{key}: simulated {metric} drifted "
+                    f"({base['sim'][metric]} -> {cur['sim'][metric]}); "
+                    "device semantics changed"
+                )
+    return failures, warnings

@@ -35,10 +35,19 @@ DISK_RESOURCE = "disk"
 
 _PLANE_PREFIX = "plane:"
 
+# Interned resource keys: every traced flash op calls plane_resource,
+# and the replay engine keys busy-time dictionaries by the result, so
+# one canonical string per plane keeps hashing cheap and allocation off
+# the per-op path.
+_PLANE_KEYS: dict = {}
+
 
 def plane_resource(plane_id: int) -> str:
-    """Resource key of flash plane ``plane_id``."""
-    return f"{_PLANE_PREFIX}{plane_id}"
+    """Resource key of flash plane ``plane_id`` (interned)."""
+    key = _PLANE_KEYS.get(plane_id)
+    if key is None:
+        key = _PLANE_KEYS.setdefault(plane_id, f"{_PLANE_PREFIX}{plane_id}")
+    return key
 
 
 def is_plane_resource(resource: str) -> bool:
@@ -91,7 +100,7 @@ class OpRecorder:
         if self._depth <= 0:
             raise RuntimeError("OpRecorder.end() without a matching begin()")
         self._depth -= 1
-        ops = tuple(self._ops[mark:])
+        ops = tuple(self._ops[mark:] if mark else self._ops)
         if self._depth == 0:
             self._ops.clear()
         return ops
@@ -121,7 +130,9 @@ class Completion(float):
         hit: Optional[bool] = None,
     ) -> "Completion":
         self = super().__new__(cls, latency_us)
-        self.ops = tuple(ops)
+        # Recorder captures already hand back tuples; re-tupling every
+        # completion was a measurable per-op allocation.
+        self.ops = ops if type(ops) is tuple else tuple(ops)
         self.hit = hit
         return self
 

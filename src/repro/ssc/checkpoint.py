@@ -56,8 +56,27 @@ class Checkpoint:
         return crc32_of_pairs(pairs)
 
     def is_intact(self) -> bool:
-        """True if the checksum matches (detects torn checkpoint writes)."""
-        return self.checksum == self.compute_checksum()
+        """True if the checksum matches (detects torn checkpoint writes).
+
+        The entry lists are snapshots taken at checkpoint time and never
+        mutated afterwards, so their CRC is computed once and memoized;
+        fault injection models damage by flipping the *stored*
+        ``checksum`` field (or an entry, which the fault library pairs
+        with dropping the memo), and the comparison still catches it.
+        """
+        computed = self.__dict__.get("_computed_checksum")
+        if computed is None:
+            computed = self.compute_checksum()
+            self.__dict__["_computed_checksum"] = computed
+        return self.checksum == computed
+
+    def invalidate_checksum_memo(self) -> None:
+        """Drop the memoized entry CRC after mutating the entry lists.
+
+        Only fault injection ever mutates a checkpoint in place; it must
+        call this so :meth:`is_intact` re-reads the damaged contents.
+        """
+        self.__dict__.pop("_computed_checksum", None)
 
     def size_bytes(self) -> int:
         """Serialized footprint on flash."""

@@ -26,6 +26,7 @@ Two policies configure eviction and log provisioning:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum, auto
@@ -384,8 +385,12 @@ class CacheFTL(HybridFTL):
                 for chip_plane in self.chip.planes
                 for block in chip_plane.blocks.values()
             )
-        pool.sort(key=lambda block: (block.valid_count, block.pbn))
-        return pool[:limit]
+        # Heap selection of the ``limit`` least-utilized victims: same
+        # (valid_count, pbn) order as a full sort, without sorting the
+        # whole candidate pool every eviction round.
+        return heapq.nsmallest(
+            limit, pool, key=lambda block: (block.valid_count, block.pbn)
+        )
 
     def _silent_evict(self, min_free: int) -> float:
         """Evict clean data blocks until ``min_free`` blocks are free.

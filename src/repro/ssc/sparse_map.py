@@ -47,37 +47,19 @@ def _hash_key(key: int) -> int:
 
 
 class _Group:
-    """One group of M buckets: occupancy bits + packed (key, value) array."""
+    """One group of M buckets: occupancy bits + packed (key, value) array.
+
+    A bucket ``slot`` is occupied iff bit ``slot`` of ``bits`` is set;
+    its entry lives at packed index ``popcount(bits & ((1 << slot) - 1))``
+    (the paper's rank-by-bitmap lookup).  The map's probe loops inline
+    that arithmetic, so the group is pure state.
+    """
 
     __slots__ = ("bits", "entries")
 
     def __init__(self):
         self.bits = 0
         self.entries: List[Tuple[int, int]] = []
-
-    def rank(self, slot: int) -> int:
-        """Packed-array index for bucket ``slot`` (popcount below it)."""
-        return (self.bits & ((1 << slot) - 1)).bit_count()
-
-    def occupied(self, slot: int) -> bool:
-        return bool(self.bits >> slot & 1)
-
-    def get(self, slot: int) -> Tuple[int, int]:
-        return self.entries[self.rank(slot)]
-
-    def put(self, slot: int, key: int, value: int) -> None:
-        index = self.rank(slot)
-        if self.occupied(slot):
-            self.entries[index] = (key, value)
-        else:
-            self.entries.insert(index, (key, value))
-            self.bits |= 1 << slot
-
-    def delete(self, slot: int) -> None:
-        if not self.occupied(slot):
-            return
-        del self.entries[self.rank(slot)]
-        self.bits &= ~(1 << slot)
 
 
 class SparseHashMap:
@@ -130,58 +112,77 @@ class SparseHashMap:
 
     # ------------------------------------------------------------------
 
-    def _probe(self, key: int) -> Iterator[int]:
-        """Linear probe sequence over bucket indexes.
-
-        Linear probing (after a strong 64-bit mix) keeps chains short at
-        our load factor and — unlike quadratic probing — admits
-        tombstone-free deletion by re-inserting the run that follows the
-        removed bucket (see :meth:`_rehash_cluster_after`).
-        """
-        mask = self._buckets - 1
-        index = _hash_key(key) & mask
-        while True:
-            yield index
-            index = (index + 1) & mask
-
-    def _locate(self, bucket: int) -> Tuple[_Group, int]:
-        group_index, slot = divmod(bucket, self.group_size)
-        group = self._groups[group_index]
-        if group is None:
-            group = _Group()
-            self._groups[group_index] = group
-        return group, slot
+    # The probe order is linear: start at _hash_key(key) & (buckets-1)
+    # and step by +1 mod buckets.  Linear probing (after a strong 64-bit
+    # mix) keeps chains short at our load factor and — unlike quadratic
+    # probing — admits tombstone-free deletion by re-inserting the run
+    # that follows the removed bucket (see _rehash_cluster_after).  The
+    # hot paths below inline the loop together with the group/slot and
+    # rank-by-bitmap arithmetic.
 
     def lookup(self, key: int) -> Optional[int]:
         """Return the value mapped to ``key``, or None."""
         self.total_lookups += 1
-        for probes, bucket in enumerate(self._probe(key), start=1):
-            group_index, slot = divmod(bucket, self.group_size)
-            group = self._groups[group_index]
-            if group is None or not group.occupied(slot):
+        mask = self._buckets - 1
+        group_size = self.group_size
+        groups = self._groups
+        index = _hash_key(key) & mask
+        probes = 1
+        while True:
+            group = groups[index // group_size]
+            if group is None:
                 self.total_probes += probes
                 return None
-            stored_key, value = group.get(slot)
-            if stored_key == key:
+            slot = index % group_size
+            bits = group.bits
+            if not (bits >> slot) & 1:
                 self.total_probes += probes
-                return value
+                return None
+            entry = group.entries[(bits & ((1 << slot) - 1)).bit_count()]
+            if entry[0] == key:
+                self.total_probes += probes
+                return entry[1]
             if probes > self._buckets:  # pragma: no cover - table invariant
                 raise RuntimeError("probe loop exceeded table size")
+            index = (index + 1) & mask
+            probes += 1
 
     def insert(self, key: int, value: int) -> Optional[int]:
         """Map ``key`` to ``value``; returns the previous value if any."""
         if (self._count + 1) / self._buckets > self.max_load:
             self._grow()
-        for bucket in self._probe(key):
-            group, slot = self._locate(bucket)
-            if not group.occupied(slot):
-                group.put(slot, key, value)
+        return self._insert_no_grow(key, value)
+
+    def _insert_no_grow(self, key: int, value: int) -> Optional[int]:
+        """Insert fast path: the load-factor check already happened.
+
+        Bulk callers (:meth:`_grow`, :meth:`_rehash_cluster_after`) use
+        this directly — re-insertion can never push the table past
+        ``max_load``, so re-checking per entry would be pure overhead.
+        """
+        mask = self._buckets - 1
+        group_size = self.group_size
+        groups = self._groups
+        index = _hash_key(key) & mask
+        while True:
+            group_index = index // group_size
+            group = groups[group_index]
+            if group is None:
+                group = _Group()
+                groups[group_index] = group
+            slot = index % group_size
+            bits = group.bits
+            rank = (bits & ((1 << slot) - 1)).bit_count()
+            if not (bits >> slot) & 1:
+                group.entries.insert(rank, (key, value))
+                group.bits = bits | (1 << slot)
                 self._count += 1
                 return None
-            stored_key, old_value = group.get(slot)
-            if stored_key == key:
-                group.put(slot, key, value)
-                return old_value
+            entry = group.entries[rank]
+            if entry[0] == key:
+                group.entries[rank] = (key, value)
+                return entry[1]
+            index = (index + 1) & mask
 
     def remove(self, key: int) -> Optional[int]:
         """Unmap ``key``; returns the value it held, or None.
@@ -191,17 +192,27 @@ class SparseHashMap:
         important because the SSC removes entries constantly during
         silent eviction.
         """
-        for bucket in self._probe(key):
-            group_index, slot = divmod(bucket, self.group_size)
-            group = self._groups[group_index]
-            if group is None or not group.occupied(slot):
+        mask = self._buckets - 1
+        group_size = self.group_size
+        groups = self._groups
+        index = _hash_key(key) & mask
+        while True:
+            group = groups[index // group_size]
+            if group is None:
                 return None
-            stored_key, value = group.get(slot)
-            if stored_key == key:
-                group.delete(slot)
+            slot = index % group_size
+            bits = group.bits
+            if not (bits >> slot) & 1:
+                return None
+            rank = (bits & ((1 << slot) - 1)).bit_count()
+            entry = group.entries[rank]
+            if entry[0] == key:
+                del group.entries[rank]
+                group.bits = bits & ~(1 << slot)
                 self._count -= 1
-                self._rehash_cluster_after(bucket)
-                return value
+                self._rehash_cluster_after(index)
+                return entry[1]
+            index = (index + 1) & mask
 
     def _rehash_cluster_after(self, bucket: int) -> None:
         """Re-insert entries whose probe chain may pass through ``bucket``.
@@ -212,31 +223,42 @@ class SparseHashMap:
         invariant that every entry is reachable from its hash position.
         """
         mask = self._buckets - 1
+        group_size = self.group_size
+        groups = self._groups
         index = (bucket + 1) & mask
         displaced: List[Tuple[int, int]] = []
         # Collect the contiguous run of occupied buckets after the hole.
         # Any entry in it might have probed through the removed bucket.
         steps = 0
         while steps < self._buckets:
-            group_index, slot = divmod(index, self.group_size)
-            group = self._groups[group_index]
-            if group is None or not group.occupied(slot):
+            group = groups[index // group_size]
+            if group is None:
                 break
-            displaced.append(group.get(slot))
-            group.delete(slot)
+            slot = index % group_size
+            bits = group.bits
+            if not (bits >> slot) & 1:
+                break
+            rank = (bits & ((1 << slot) - 1)).bit_count()
+            displaced.append(group.entries[rank])
+            del group.entries[rank]
+            group.bits = bits & ~(1 << slot)
             self._count -= 1
             index = (index + 1) & mask
             steps += 1
         for key, value in displaced:
-            self.insert(key, value)
+            self._insert_no_grow(key, value)
 
     def _grow(self) -> None:
         entries = list(self.items())
         self._buckets *= 2
+        # One doubling suffices at any max_load >= 0.5; the loop keeps
+        # the end state identical to repeated growth for smaller loads.
+        while len(entries) / self._buckets > self.max_load:
+            self._buckets *= 2
         self._groups = [None] * (self._buckets // self.group_size)
         self._count = 0
         for key, value in entries:
-            self.insert(key, value)
+            self._insert_no_grow(key, value)
 
     def items(self) -> Iterator[Tuple[int, int]]:
         """Yield (key, value) pairs in unspecified order."""

@@ -55,14 +55,26 @@ class LatencyStats:
         """
         if not self._keep:
             raise ValueError("percentiles require keep_samples=True")
-        if not self._samples:
-            return 0.0
+        # Validate BEFORE the empty-samples short circuit: an out-of-range
+        # pct is a caller bug and must never silently read as 0.0 just
+        # because nothing was recorded yet.
         if not 0.0 <= pct <= 100.0:
             raise ValueError("pct must be in [0, 100]")
+        if not self._samples:
+            return 0.0
         ordered = sorted(self._samples)
         rank = ceil(len(ordered) * pct / 100.0)
         rank = min(len(ordered), max(1, rank))
         return ordered[rank - 1]
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable summary (machine-comparable across PRs)."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+            "total_us": self.total_us,
+        }
 
 
 @dataclass
@@ -115,4 +127,28 @@ class ReplayStats:
         return {
             resource: busy / self.elapsed_us
             for resource, busy in sorted(self.device_busy_us.items())
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, key order and nesting fixed.
+
+        This is the schema BENCH_*.json embeds; the golden-file test in
+        ``tests/test_bench_schema.py`` pins it so benchmark output stays
+        machine-comparable across PRs.  Extend it by *adding* keys, never
+        by renaming or restructuring existing ones.
+        """
+        return {
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "elapsed_us": self.elapsed_us,
+            "queue_depth": self.queue_depth,
+            "iops": self.iops(),
+            "miss_rate_pct": self.miss_rate(),
+            "latency": self.latency.to_dict(),
+            "service": self.service.to_dict(),
+            "queue_wait": self.queue_wait.to_dict(),
+            "device_busy_us": dict(sorted(self.device_busy_us.items())),
         }

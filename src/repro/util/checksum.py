@@ -20,27 +20,30 @@ def crc32_of(*parts: Chunk) -> int:
     which is unambiguous for the metadata tuples we checksum (sequence
     numbers, addresses, state flags).
     """
-    crc = 0
+    # One CRC pass over the joined encoding — bit-identical to feeding
+    # zlib.crc32 chunk by chunk, at a fraction of the call overhead.
+    chunks = []
     for part in parts:
         if part is None:
-            data = b"\x00N"
+            chunks.append(b"\x00N|")
         elif isinstance(part, int):
-            data = b"i" + str(part).encode("ascii")
+            chunks.append(b"i%d|" % part)
         elif isinstance(part, str):
-            data = b"s" + part.encode("utf-8")
+            chunks.append(b"s" + part.encode("utf-8") + b"|")
         else:
-            data = b"b" + part
-        crc = zlib.crc32(data, crc)
-        crc = zlib.crc32(b"|", crc)
-    return crc & 0xFFFFFFFF
+            chunks.append(b"b" + part + b"|")
+    return zlib.crc32(b"".join(chunks)) & 0xFFFFFFFF
 
 
 def crc32_of_pairs(pairs: Iterable[Tuple[int, int]]) -> int:
-    """CRC32 over an iterable of integer pairs (used by checkpoints)."""
-    crc = 0
-    for a, b in pairs:
-        crc = zlib.crc32(f"{a}:{b};".encode("ascii"), crc)
-    return crc & 0xFFFFFFFF
+    """CRC32 over an iterable of integer pairs (used by checkpoints).
+
+    One CRC pass over the joined encoding — bit-identical to feeding
+    zlib.crc32 chunk by chunk, at a fraction of the call overhead.
+    """
+    return zlib.crc32(
+        "".join(f"{a}:{b};" for a, b in pairs).encode("ascii")
+    ) & 0xFFFFFFFF
 
 
 def crc32_of_payload(lbn: Union[int, None], data: object) -> int:
@@ -51,4 +54,7 @@ def crc32_of_payload(lbn: Union[int, None], data: object) -> int:
     Covering ``lbn`` as well means a page whose data was damaged *or*
     whose reverse map was torn mid-program both fail verification.
     """
-    return crc32_of(lbn, repr(data))
+    # Single-format fast path for crc32_of(lbn, repr(data)) — this runs
+    # once per page program.
+    prefix = b"\x00N|s" if lbn is None else b"i%d|s" % lbn
+    return zlib.crc32(prefix + repr(data).encode("utf-8") + b"|") & 0xFFFFFFFF

@@ -1,0 +1,147 @@
+"""Golden-file tests pinning the benchmark JSON schemas.
+
+Two external contracts live here:
+
+* ``ReplayStats.to_dict()`` — the ``sim`` block every ``BENCH_*.json``
+  entry embeds.  The golden file pins keys, nesting, *and values* for a
+  fixed-seed replay: the simulation is deterministic, so any value
+  drift means device semantics changed (and must also show up in the
+  differential layer); any key change breaks downstream report readers
+  and requires a schema-version bump.
+* The ``repro bench`` report — schema-versioned, validated by
+  :func:`repro.perf.wallclock.validate_report`, and compared across
+  commits by the CI perf gate.  Wall-clock fields are
+  machine-dependent, so the CLI test checks structure, not values.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import CacheMode, SystemConfig, SystemKind
+from repro.core.flashtier import build_system
+from repro.perf.wallclock import (
+    BENCH_FILENAME,
+    SCHEMA_VERSION,
+    compare_reports,
+    run_bench,
+    validate_report,
+)
+from repro.traces.synthetic import PROFILES, generate_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def golden_replay_stats():
+    system = build_system(
+        SystemConfig(
+            kind=SystemKind.SSC_R,
+            mode=CacheMode.WRITE_BACK,
+            cache_blocks=512,
+            disk_blocks=20_000,
+        )
+    )
+    records = generate_trace(PROFILES["homes"].scaled(0.01), seed=42).records
+    return system.replay(records, warmup_fraction=0.25, queue_depth=4)
+
+
+class TestReplayStatsGolden:
+    def test_to_dict_matches_golden_file(self):
+        golden = json.loads(
+            (GOLDEN_DIR / "replay_stats_ssc_r_wb_qd4.json").read_text()
+        )
+        current = golden_replay_stats().to_dict()
+        # Compare via JSON round-trip so tuples/ints normalize exactly
+        # as they would inside a written BENCH file.
+        assert json.loads(json.dumps(current)) == golden
+
+    def test_key_order_is_stable(self):
+        golden = json.loads(
+            (GOLDEN_DIR / "replay_stats_ssc_r_wb_qd4.json").read_text()
+        )
+        current = golden_replay_stats().to_dict()
+        assert list(current) == list(golden)
+        for dist in ("latency", "service", "queue_wait"):
+            assert list(current[dist]) == list(golden[dist])
+
+    def test_json_serializable(self):
+        json.dumps(golden_replay_stats().to_dict())
+
+
+class TestBenchReportSchema:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # 0.05 is the committed-baseline scale; smaller homes traces
+        # leave the SSC too few blocks for its log pool.
+        return run_bench(
+            workloads=("homes",), queue_depths=(1,), scale=0.05, seed=1
+        )
+
+    def test_validates(self, report):
+        validate_report(report)
+        assert report["schema_version"] == SCHEMA_VERSION
+
+    def test_scenarios_cover_matrix(self, report):
+        keys = {
+            (e["workload"], e["system"], e["mode"], e["queue_depth"])
+            for e in report["results"]
+        }
+        assert keys == {
+            ("homes", "native", "wb", 1),
+            ("homes", "ssc", "wt", 1),
+            ("homes", "ssc-r", "wb", 1),
+        }
+
+    def test_self_comparison_is_clean(self, report):
+        failures, warnings = compare_reports(report, report)
+        assert failures == []
+        assert warnings == []
+
+    def test_validation_rejects_damage(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report(broken)
+        broken = json.loads(json.dumps(report))
+        del broken["results"][0]["sim"]["iops"]
+        with pytest.raises(ValueError, match="iops"):
+            validate_report(broken)
+        broken = json.loads(json.dumps(report))
+        broken["results"].append(broken["results"][0])
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_report(broken)
+
+
+class TestBenchCli:
+    def test_bench_emits_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--scale", "0.02",
+            "--queue-depths", "1", "-o", str(out),
+        ]) == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        validate_report(report)
+
+    def test_bench_compare_gate_passes_against_self(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--scale", "0.02",
+            "--queue-depths", "1", "-o", str(out),
+        ]) == 0
+        assert main([
+            "bench", "--quick", "--scale", "0.02",
+            "--queue-depths", "1", "--compare", str(out),
+            "--max-regress", "0.99",
+        ]) == 0
+        capsys.readouterr()
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_valid(self):
+        baseline = json.loads((REPO_ROOT / BENCH_FILENAME).read_text())
+        validate_report(baseline)
+        assert baseline["schema_version"] == SCHEMA_VERSION

@@ -65,8 +65,22 @@ class TestCheckpointStore:
         store.write(second)
         assert store.latest() is second
         # Corrupt the newest: the store must fall back to the older one.
+        # In-place entry mutation must drop the memoized entry CRC (the
+        # contract every fault injector follows).
         second.page_entries.append((1, 2, True))
+        second.invalidate_checksum_memo()
         assert store.latest() is first
+
+    def test_torn_checksum_detected_without_memo_invalidation(self):
+        # The torn-write path flips only the STORED checksum field; the
+        # memoized entry CRC stays valid and the mismatch is detected
+        # with no invalidation call.
+        store = self.make_store()
+        checkpoint = make_checkpoint(seq=5)
+        store.write(checkpoint)
+        assert store.latest() is checkpoint
+        checkpoint.checksum ^= 0x1
+        assert store.latest() is None
 
     def test_latest_picks_highest_seq(self):
         store = self.make_store()

@@ -239,6 +239,18 @@ class TestPercentile:
         with pytest.raises(ValueError):
             stats.percentile(101)
 
+    def test_out_of_range_pct_rejected_on_empty_accumulator(self):
+        # Regression: validation used to come after the empty-samples
+        # short circuit, so percentile(150) on an empty accumulator
+        # silently returned 0.0 instead of raising.
+        stats = LatencyStats(keep_samples=True)
+        with pytest.raises(ValueError, match="pct"):
+            stats.percentile(150)
+        with pytest.raises(ValueError, match="pct"):
+            stats.percentile(-1)
+        # In-range percentiles of an empty accumulator still read 0.0.
+        assert stats.percentile(50) == 0.0
+
     def test_samples_property(self):
         stats = LatencyStats(keep_samples=True)
         stats.record(2.0)

@@ -1,0 +1,188 @@
+"""Model-based tests: SparseHashMap vs a plain dict.
+
+The sparse hash map is the SSC's hottest data structure — every read,
+write and eviction probes it — which makes it the prime target for
+optimization and therefore for silent corruption.  These tests pin its
+observable behaviour to the obviously-correct model (a ``dict``) under
+randomized operation sequences, with dedicated coverage for the two
+hardest regions:
+
+* tombstone-free deletion (``_rehash_cluster_after``), including runs
+  that wrap around the table boundary, and
+* the probe-length invariant behind the paper's "typically no more than
+  4-5 probes" claim (we assert a looser ceiling of 8 at ``max_load``).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ssc.sparse_map import SparseHashMap, _hash_key
+
+# Small key pools force collisions and long probe runs; mixing in huge
+# sparse keys exercises the 64-bit hash path.
+_keys = st.one_of(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=10**15),
+)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _keys, st.integers(0, 2**32)),
+        st.tuples(st.just("remove"), _keys, st.just(0)),
+        st.tuples(st.just("lookup"), _keys, st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+def _assert_matches_model(table: SparseHashMap, model: dict) -> None:
+    assert len(table) == len(model)
+    assert dict(table.items()) == model
+    for key, value in model.items():
+        assert table.lookup(key) == value
+        assert key in table
+
+
+class TestAgainstDictModel:
+    @given(ops=_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_random_sequences(self, ops):
+        # A tiny initial table guarantees several doublings per run.
+        table = SparseHashMap(initial_buckets=8, group_size=8)
+        model = {}
+        for op, key, value in ops:
+            if op == "insert":
+                assert table.insert(key, value) == model.get(key)
+                model[key] = value
+            elif op == "remove":
+                assert table.remove(key) == model.pop(key, None)
+            else:
+                assert table.lookup(key) == model.get(key)
+        _assert_matches_model(table, model)
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=10**12), min_size=1, unique=True
+        ),
+        group_size=st.sampled_from([1, 4, 8, 32, 64]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_insert_all_remove_all(self, keys, group_size):
+        table = SparseHashMap(
+            initial_buckets=max(8, group_size), group_size=group_size
+        )
+        model = {}
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+            model[key] = index
+        _assert_matches_model(table, model)
+        for key in keys:
+            assert table.remove(key) == model.pop(key)
+            _assert_matches_model(table, model)
+        assert len(table) == 0
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_grow_preserves_contents(self, seed):
+        rng = random.Random(seed)
+        table = SparseHashMap(initial_buckets=8, group_size=8, max_load=0.5)
+        model = {}
+        buckets_seen = {table.buckets}
+        for _ in range(300):
+            key = rng.randrange(10**9)
+            value = rng.randrange(10**9)
+            table.insert(key, value)
+            model[key] = value
+            buckets_seen.add(table.buckets)
+        assert len(buckets_seen) > 1, "table never grew"
+        _assert_matches_model(table, model)
+
+
+class TestBoundaryWrap:
+    """Deletion runs that wrap the table boundary."""
+
+    @staticmethod
+    def _keys_hashing_to(table: SparseHashMap, wanted_buckets, limit=200_000):
+        """Find distinct keys whose home bucket is in ``wanted_buckets``."""
+        mask = table.buckets - 1
+        found = {}
+        for key in range(limit):
+            bucket = _hash_key(key) & mask
+            if bucket in wanted_buckets and bucket not in found:
+                found[bucket] = key
+            if len(found) == len(wanted_buckets):
+                break
+        assert len(found) == len(wanted_buckets), "key search exhausted"
+        return found
+
+    def test_cluster_wraps_table_end(self):
+        table = SparseHashMap(initial_buckets=64, group_size=8, max_load=0.9)
+        last = table.buckets - 1
+        # Build an occupied run ... 62, 63, 0, 1 ... by homing one key at
+        # each of the last two buckets and then forcing two collisions
+        # onto bucket 63 (they overflow past the wrap into buckets 0, 1).
+        homes = self._keys_hashing_to(table, {last - 1, last})
+        collisions = []
+        mask = table.buckets - 1
+        key = max(homes.values()) + 1
+        while len(collisions) < 2:
+            if (_hash_key(key) & mask) == last:
+                collisions.append(key)
+            key += 1
+        model = {}
+        for value, insert_key in enumerate(
+            [homes[last - 1], homes[last], *collisions]
+        ):
+            table.insert(insert_key, value)
+            model[insert_key] = value
+        # Deleting the entry AT the boundary forces _rehash_cluster_after
+        # to collect a displaced run that wraps from 63 to 0.
+        assert table.remove(homes[last]) == model.pop(homes[last])
+        _assert_matches_model(table, model)
+        # The wrapped entries must still be reachable from their homes.
+        for insert_key in collisions:
+            assert table.lookup(insert_key) == model[insert_key]
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_dense_small_table_churn(self, seed):
+        # A nearly-full tiny table makes wrap-around runs routine; churn
+        # insert/remove at high load and re-verify against the model.
+        rng = random.Random(seed)
+        table = SparseHashMap(initial_buckets=16, group_size=16, max_load=0.9)
+        model = {}
+        universe = list(range(48))
+        for _ in range(400):
+            key = rng.choice(universe)
+            if rng.random() < 0.6:
+                value = rng.randrange(1000)
+                assert table.insert(key, value) == model.get(key)
+                model[key] = value
+            else:
+                assert table.remove(key) == model.pop(key, None)
+        _assert_matches_model(table, model)
+
+
+class TestProbeInvariant:
+    def test_mean_probes_bounded_at_max_load(self):
+        # Fill to the growth threshold (the worst sustained load the map
+        # ever serves) and measure the probe statistics over a full
+        # lookup sweep: present and absent keys alike.
+        table = SparseHashMap(initial_buckets=1024, max_load=0.75)
+        rng = random.Random(42)
+        keys = rng.sample(range(10**12), 6 * 1024)
+        for key in keys:
+            if (len(table) + 1) / table.buckets > table.max_load - 1e-9:
+                break
+            table.insert(key, key & 0xFFFF)
+        assert len(table) / table.buckets > 0.70, "table not near max_load"
+
+        table.total_probes = 0
+        table.total_lookups = 0
+        for key in keys[: len(table)]:
+            table.lookup(key)
+        for key in rng.sample(range(10**12, 2 * 10**12), 2048):
+            table.lookup(key)
+        assert table.mean_probes() <= 8.0
+        # And the paper's own claim holds for present keys on average.
+        assert table.total_lookups > 0
