@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 from repro.check import faults
 from repro.check.oracle import SSCOracle, Violation
 from repro.check.workload import Op, generate_workload
+from repro.core.sharding import ShardedSSC
 from repro.errors import CrashError, NotPresentError
 from repro.flash.geometry import FlashGeometry
 from repro.sim.crash import CrashInjector
@@ -42,13 +43,18 @@ from repro.ssc.engine import EvictionPolicy
 _GC_BUDGET_US = 2_000.0
 
 
-def build_device(geometry: Optional[FlashGeometry] = None) -> SolidStateCache:
+def build_device(geometry: Optional[FlashGeometry] = None, shards: int = 1):
     """A small SSC tuned so short workloads cross many boundary kinds.
 
     Group commit every 8 buffered ops and a checkpoint every 50 writes
     make asynchronous flushes and checkpoint writes occur within a
     ~200-op workload; the 4x16x8 geometry is large enough for garbage
     collection and silent eviction to trigger.
+
+    ``shards > 1`` builds a :class:`~repro.core.sharding.ShardedSSC` of
+    that many such devices (every member keeps the full geometry — the
+    exploration wants each shard exercising its whole boundary set, not
+    a capacity-scaling experiment).
     """
     geometry = geometry or FlashGeometry(
         planes=4, blocks_per_plane=16, pages_per_block=8
@@ -58,7 +64,14 @@ def build_device(geometry: Optional[FlashGeometry] = None) -> SolidStateCache:
         group_commit_ops=8,
         checkpoint_interval_writes=50,
     )
-    return SolidStateCache(geometry, config=config)
+    if shards == 1:
+        return SolidStateCache(geometry, config=config)
+    return ShardedSSC(
+        [
+            SolidStateCache(geometry, config=config, name=f"shard{shard_id}")
+            for shard_id in range(shards)
+        ]
+    )
 
 
 def apply_op(
@@ -181,14 +194,20 @@ def run_trial(
     fault_rng: Optional[random.Random] = None,
     strict: bool = True,
     trial: str = "",
+    shards: int = 1,
 ) -> tuple:
     """One armed run: crash at ``boundary``, recover, check.
 
     Returns ``(violations, fired_point_name)``; ``fired_point_name`` is
     None when the workload finished before the armed boundary (only
     possible when ``boundary`` exceeds the baseline tick count).
+
+    With ``shards > 1`` the workload runs against a sharded array (the
+    injector is wired into *every* member, so the armed boundary fires
+    wherever the routed operation stream crosses it), and a bit-flip
+    ``fault`` damages one member device chosen by ``fault_rng``.
     """
-    ssc = build_device(geometry)
+    ssc = build_device(geometry, shards=shards)
     injector = CrashInjector()
     ssc.attach_injector(injector)
     injector.arm(after_events=boundary - 1, torn=torn)
@@ -199,7 +218,10 @@ def run_trial(
         injector.disarm()
         ssc.crash()
     if fault is not None:
-        fault(ssc, fault_rng or random.Random(boundary))
+        rng = fault_rng or random.Random(boundary)
+        members = getattr(ssc, "shards", None)
+        target = members[rng.randrange(len(members))] if members else ssc
+        fault(target, rng)
     ssc.recover()
     violations.extend(oracle.check(ssc, strict=strict, trial=trial))
     fired = injector.fired_point.name if injector.fired_point else None
@@ -214,20 +236,24 @@ def explore(
     bitflips: int = 0,
     lbn_range: int = 64,
     geometry: Optional[FlashGeometry] = None,
+    shards: int = 1,
 ) -> ExplorationReport:
     """Full exploration of one generated workload.
 
     ``stride`` samples every ``stride``-th boundary (1 = exhaustive).
     ``torn`` adds a torn-write variant of every sampled boundary.
     ``bitflips`` adds that many bit-flip trials (checked under the
-    relaxed integrity rules).
+    relaxed integrity rules).  ``shards`` runs every trial against a
+    sharded cache array instead of a single device.
     """
     if stride < 1:
         raise ValueError("stride must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     workload = generate_workload(ops, seed, lbn_range=lbn_range)
 
     # Baseline: enumerate the boundaries an uninterrupted run crosses.
-    baseline_ssc = build_device(geometry)
+    baseline_ssc = build_device(geometry, shards=shards)
     baseline_injector = CrashInjector()
     baseline_ssc.attach_injector(baseline_injector)
     baseline_oracle = SSCOracle()
@@ -248,7 +274,7 @@ def explore(
             label = f"boundary={boundary}{'/torn' if is_torn else ''}"
             violations, fired = run_trial(
                 workload, boundary, torn=is_torn, geometry=geometry,
-                trial=label,
+                trial=label, shards=shards,
             )
             report.trials += 1
             if fired is not None:
@@ -265,7 +291,7 @@ def explore(
         violations, _fired = run_trial(
             workload, boundary, geometry=geometry,
             fault=fault_cycle[index % len(fault_cycle)], fault_rng=rng,
-            strict=False, trial=label,
+            strict=False, trial=label, shards=shards,
         )
         report.trials += 1
         report.bitflip_trials += 1

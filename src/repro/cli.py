@@ -88,6 +88,20 @@ def _system_config(args, kind: SystemKind, records) -> SystemConfig:
         cache_blocks=cache_blocks,
         disk_blocks=disk_blocks,
         consistency=not args.no_consistency,
+        shards=getattr(args, "shards", 1),
+        routing=getattr(args, "routing", "stripe"),
+    )
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="split the cache into this many devices at fixed total "
+             "capacity (default 1: a single device)",
+    )
+    parser.add_argument(
+        "--routing", choices=("stripe", "hash"), default="stripe",
+        help="erase-group-to-shard assignment policy (default stripe)",
     )
 
 
@@ -139,6 +153,8 @@ def cmd_replay(args) -> int:
     )
     device = system.device_stats
     loop = "open loop" if args.open_loop else f"QD={stats.queue_depth}"
+    if args.shards > 1:
+        loop += f", {args.shards} shards/{args.routing}"
     print(f"system:              {kind.value} ({args.mode}, {loop})")
     print(f"requests measured:   {stats.ops:,}")
     print(f"IOPS:                {stats.iops():,.0f}")
@@ -154,7 +170,8 @@ def cmd_replay(args) -> int:
     if utilization:
         disk_util = utilization.get("disk", 0.0)
         plane_utils = [
-            value for key, value in utilization.items() if key.startswith("plane:")
+            value for key, value in utilization.items()
+            if key.startswith("plane:") or ":plane:" in key
         ]
         if plane_utils:
             mean_plane = sum(plane_utils) / len(plane_utils)
@@ -200,6 +217,17 @@ def cmd_recover(args) -> int:
     print(f"cache held {cached:,} blocks at the crash "
           f"({lost} buffered log records lost)")
     print(f"FlashTier recovery:  {recovery_us / 1000:.2f} ms (simulated)")
+    per_shard = getattr(system.ssc, "last_recovery_costs", ())
+    if len(per_shard) > 1:
+        rows = [
+            [f"shard{shard_id}", f"{cost / 1000:.2f} ms"]
+            for shard_id, cost in enumerate(per_shard)
+        ]
+        rows.append(["serial total", f"{sum(per_shard) / 1000:.2f} ms"])
+        print(format_table(
+            ["shard", "recovery"], rows,
+            title=f"Parallel recovery across {len(per_shard)} shards",
+        ))
 
     native = build_system(_system_config(args, SystemKind.NATIVE, records))
     native.replay(records, warmup_fraction=0.0)
@@ -231,12 +259,15 @@ def cmd_bench(args) -> int:
     if args.seed is not None:
         matrix["seed"] = args.seed
 
-    print(f"benchmarking (scale {matrix['scale']}, seed {matrix['seed']}):")
+    shard_note = f", shards {args.shards}" if args.shards > 1 else ""
+    print(f"benchmarking (scale {matrix['scale']}, seed {matrix['seed']}"
+          f"{shard_note}):")
     report = run_bench(
         workloads=matrix["workloads"],
         queue_depths=matrix["queue_depths"],
         scale=matrix["scale"],
         seed=matrix["seed"],
+        shards=args.shards,
         progress=print,
     )
     validate_report(report)
@@ -276,8 +307,10 @@ def cmd_crashcheck(args) -> int:
         stride=args.stride,
         torn=not args.no_torn,
         bitflips=args.bitflips,
+        shards=args.shards,
     )
-    print(f"workload:            {args.ops} ops (seed {args.seed})")
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    print(f"workload:            {args.ops} ops (seed {args.seed}{shard_note})")
     print(f"durability boundaries: {report.boundaries}")
     print(f"trials run:          {report.trials} "
           f"(stride {args.stride}, torn={'off' if args.no_torn else 'on'}, "
@@ -332,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--open-loop", action="store_true",
         help="dispatch at recorded arrival_us timestamps instead",
     )
+    _add_shard_args(replay)
     replay.set_defaults(func=cmd_replay)
 
     compare = subparsers.add_parser("compare", help="native vs SSC vs SSC-R")
@@ -364,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regress", type=float, default=0.20,
                        help="tolerated wall-clock throughput regression "
                             "(default 0.20 = 20%%)")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="run every cache device as an array of this many "
+                            "shards at fixed total capacity (default 1)")
     bench.set_defaults(func=cmd_bench)
 
     crashcheck = subparsers.add_parser(
@@ -380,10 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bit-flip fault trials (default 12)")
     crashcheck.add_argument("--no-torn", action="store_true",
                             help="skip the torn-write variant of each boundary")
+    crashcheck.add_argument("--shards", type=int, default=1,
+                            help="explore against a sharded cache array "
+                                 "(default 1: a single device)")
     crashcheck.set_defaults(func=cmd_crashcheck)
 
     recover = subparsers.add_parser("recover", help="crash-recovery timing demo")
     _add_trace_source_args(recover)
+    _add_shard_args(recover)
     recover.add_argument("--mode", default="wb")
     recover.add_argument("--no-consistency", action="store_true", help=argparse.SUPPRESS)
     recover.set_defaults(func=cmd_recover)

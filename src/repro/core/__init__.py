@@ -1,12 +1,21 @@
 """High-level facade: build complete FlashTier / native systems."""
 
 from repro.core.config import SystemConfig, SystemKind, CacheMode
-from repro.core.flashtier import FlashTierSystem, build_system
+from repro.core.flashtier import (
+    FlashTierSystem,
+    build_sharded_system,
+    build_system,
+)
+from repro.core.sharding import ShardedSSC, ShardedSSD, ShardRouter
 
 __all__ = [
     "SystemConfig",
     "SystemKind",
     "CacheMode",
     "FlashTierSystem",
+    "ShardedSSC",
+    "ShardedSSD",
+    "ShardRouter",
+    "build_sharded_system",
     "build_system",
 ]

@@ -37,6 +37,16 @@ class SystemConfig:
     ``consistency=False`` builds the no-consistency configurations used
     by Fig. 4's baseline and the GC experiments (Fig. 6 / Table 5).
 
+    ``shards`` partitions the cache across that many independent cache
+    devices at *fixed total capacity*: each shard is provisioned
+    ``cache_blocks / shards`` blocks and owns a deterministic slice of
+    the disk LBN space (see :mod:`repro.core.sharding`).  ``routing``
+    selects how LBNs map to shards: ``"stripe"`` round-robins erase-
+    block-sized groups across shards, ``"hash"`` assigns each group by
+    a 64-bit mix of its number.  Both route at group granularity so a
+    sparse group never splits across shards.  ``shards=1`` builds the
+    single-device system unchanged.
+
     ``pages_per_block`` defaults to 16 rather than the paper's 64: the
     workloads are replayed at ~1/30 scale, and the erase-block size must
     scale with them or the log pool becomes a handful of blocks and
@@ -58,6 +68,8 @@ class SystemConfig:
     page_size: int = 4096
     oob_bytes: int = 224
     seed: int = 0
+    shards: int = 1
+    routing: str = "stripe"
 
     def __post_init__(self):
         if self.cache_blocks < 1:
@@ -68,3 +80,7 @@ class SystemConfig:
             raise ConfigError("capacity_slack must be >= 1.0")
         if not 0.0 < self.dirty_threshold <= 1.0:
             raise ConfigError("dirty_threshold must be in (0, 1]")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.routing not in ("stripe", "hash"):
+            raise ConfigError("routing must be 'stripe' or 'hash'")

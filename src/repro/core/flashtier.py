@@ -26,9 +26,21 @@ from repro.traces.record import TraceRecord
 from repro.traces.replay import replay_trace
 
 
-def cache_geometry(config: SystemConfig) -> FlashGeometry:
-    """Flash geometry provisioning ``cache_blocks`` with slack."""
-    capacity = int(config.cache_blocks * config.capacity_slack) * config.page_size
+def cache_geometry(config: SystemConfig, shard_count: int = 1) -> FlashGeometry:
+    """Flash geometry provisioning ``cache_blocks`` with slack.
+
+    With ``shard_count > 1`` the geometry is for *one member device* of
+    a sharded array at fixed total capacity: each shard gets
+    ``ceil(cache_blocks / shard_count)`` blocks (rounding up, so the
+    array never holds less than a single device would), subject to a
+    viability floor — a member must still fit its FTL's log pool and
+    spare blocks, so sharding a very small cache provisions slightly
+    more than ``cache_blocks`` in total rather than failing.
+    """
+    blocks = -(-config.cache_blocks // shard_count)  # ceil
+    if shard_count > 1:
+        blocks = max(blocks, 16 * config.pages_per_block)
+    capacity = int(blocks * config.capacity_slack) * config.page_size
     return FlashGeometry.for_capacity(
         capacity,
         planes=config.planes,
@@ -99,6 +111,8 @@ class FlashTierSystem:
 
 def build_system(config: SystemConfig) -> FlashTierSystem:
     """Assemble the system described by ``config``."""
+    if config.shards > 1:
+        return build_sharded_system(config)
     disk = Disk(config.disk_blocks)
     geometry = cache_geometry(config)
 
@@ -129,3 +143,61 @@ def build_system(config: SystemConfig) -> FlashTierSystem:
     else:
         manager = FlashTierWTManager(ssc, disk)
     return FlashTierSystem(config=config, manager=manager, disk=disk, ssc=ssc)
+
+
+def build_sharded_system(config: SystemConfig) -> FlashTierSystem:
+    """Assemble a sharded cache array (``config.shards`` members).
+
+    Total capacity is fixed: each member device is provisioned
+    ``cache_blocks / shards`` blocks (see :func:`cache_geometry`), and
+    the array partitions the disk LBN space across the members by the
+    ``config.routing`` policy.  The three cache managers run unmodified
+    against the array — it exposes the exact device interface they
+    already speak.
+    """
+    from repro.core.sharding import ShardedSSC, ShardedSSD, ShardRouter
+
+    disk = Disk(config.disk_blocks)
+    geometry = cache_geometry(config, shard_count=config.shards)
+
+    if config.kind is SystemKind.NATIVE:
+        array = ShardedSSD(
+            [
+                SSD(geometry=geometry, config=HybridFTLConfig())
+                for _ in range(config.shards)
+            ]
+        )
+        manager = NativeCacheManager(
+            array,
+            disk,
+            NativeConfig(
+                mode=config.mode.value,
+                dirty_threshold=config.dirty_threshold,
+                consistency=config.consistency,
+            ),
+        )
+        return FlashTierSystem(config=config, manager=manager, disk=disk, ssd=array)
+
+    policy = (
+        EvictionPolicy.MERGE if config.kind is SystemKind.SSC_R else EvictionPolicy.UTIL
+    )
+    array = ShardedSSC(
+        [
+            SolidStateCache(
+                geometry=geometry,
+                config=SSCConfig(policy=policy, consistency=config.consistency),
+                name=f"shard{shard_id}",
+            )
+            for shard_id in range(config.shards)
+        ],
+        router=ShardRouter(
+            config.shards, config.routing, config.pages_per_block
+        ),
+    )
+    if config.mode is CacheMode.WRITE_BACK:
+        manager = FlashTierWBManager(
+            array, disk, WriteBackConfig(dirty_threshold=config.dirty_threshold)
+        )
+    else:
+        manager = FlashTierWTManager(array, disk)
+    return FlashTierSystem(config=config, manager=manager, disk=disk, ssc=array)

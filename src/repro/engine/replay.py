@@ -98,7 +98,11 @@ class ReplayEngine:
             planes = self._chip.planes
             resource = planes[plane_id] if plane_id < len(planes) else _FallbackResource()
         else:
-            resource = _FallbackResource()
+            # Sharded arrays re-key their planes as "s<k>:plane:<n>" and
+            # expose plane_for_resource on the chip view to resolve them.
+            resolver = getattr(self._chip, "plane_for_resource", None)
+            plane = resolver(key) if resolver is not None else None
+            resource = plane if plane is not None else _FallbackResource()
         self._resources[key] = resource
         return resource
 

@@ -18,7 +18,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.page import OOBData, Page, PageState
 from repro.flash.plane import Plane
 from repro.flash.timing import TimingModel
-from repro.sim.completion import OpRecorder, plane_resource
+from repro.sim.completion import OpRecorder, plane_resource, shard_plane_resource
 from repro.sim.crash import CrashInjector, CrashPoint
 from repro.util.checksum import crc32_of_payload
 
@@ -41,6 +41,15 @@ class FlashStats:
             block_erases=self.block_erases,
             oob_scans=self.oob_scans,
             busy_us=self.busy_us,
+        )
+
+    def merge(self, other: "FlashStats") -> "FlashStats":
+        """Field-wise sum — aggregates the chips of a sharded array.
+
+        Commutative and associative, with ``FlashStats()`` as the unit.
+        """
+        return FlashStats(
+            **{name: getattr(self, name) + getattr(other, name) for name in vars(self)}
         )
 
 
@@ -75,6 +84,9 @@ class FlashChip:
         self._plane_keys = [
             plane_resource(plane_id) for plane_id in range(self.geometry.planes)
         ]
+        # Set when this chip is a member of a sharded array (see
+        # set_resource_shard); None for a standalone device.
+        self.resource_shard: Optional[int] = None
         # The timing model is frozen, so per-op costs are constants.
         self._read_cost_us = self.timing.read_cost()
         self._write_cost_us = self.timing.write_cost()
@@ -112,6 +124,20 @@ class FlashChip:
 
     def _record_op(self, plane_id: int, kind: str, cost: float) -> None:
         self.op_recorder.record(self._plane_keys[plane_id], kind, cost)
+
+    def set_resource_shard(self, shard_id: int) -> None:
+        """Re-key this chip's plane resources as ``"s<k>:plane:<n>"``.
+
+        A sharded cache array calls this on each member chip so that
+        operations on different shards' planes land on distinct
+        availability timelines in the replay engine — physically
+        separate devices must never queue behind one another.
+        """
+        self.resource_shard = shard_id
+        self._plane_keys = [
+            shard_plane_resource(shard_id, plane_id)
+            for plane_id in range(self.geometry.planes)
+        ]
 
     # ---- availability ------------------------------------------------------
 

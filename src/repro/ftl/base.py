@@ -46,3 +46,18 @@ class FTLStats:
                 for name in vars(self)
             }
         )
+
+    def merge(self, other: "FTLStats") -> "FTLStats":
+        """Return self + other, field-wise.
+
+        Aggregates the per-shard device statistics of a sharded cache
+        array into one array-level view; ratios (write amplification)
+        are then computed over the summed counters.  Commutative and
+        associative, with ``FTLStats()`` as the unit.
+        """
+        return FTLStats(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in vars(self)
+            }
+        )

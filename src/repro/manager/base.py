@@ -39,6 +39,21 @@ class ManagerStats:
         lookups = self.read_hits + self.read_misses
         return 100.0 * self.read_misses / lookups if lookups else 0.0
 
+    def merge(self, other: "ManagerStats") -> "ManagerStats":
+        """Return self + other, field-wise.
+
+        Aggregates per-shard (or per-manager) hit/miss accounting into
+        one array-level view; ``miss_rate`` is then the rate over the
+        combined request stream.  Commutative and associative, with
+        ``ManagerStats()`` as the unit.
+        """
+        return ManagerStats(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in vars(self)
+            }
+        )
+
 
 class CacheManager(ABC):
     """A block-layer cache manager over a cache device and a disk.

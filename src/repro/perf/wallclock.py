@@ -97,12 +97,35 @@ def quick_matrix() -> Dict[str, Sequence]:
 
 
 def _scenario_key(entry: Dict) -> Tuple:
+    # "shards" joined the schema after the baseline was committed;
+    # entries written before it default to the single-device value.
     return (
         entry["workload"],
         entry["system"],
         entry["mode"],
         entry["queue_depth"],
+        entry.get("shards", 1),
     )
+
+
+def _measure_recovery(system) -> Dict:
+    """Crash the cache device and time its simulated recovery.
+
+    Returns ``parallel_us`` (the array recovers members concurrently:
+    max over shards), ``serial_us`` (back-to-back: the sum) and the
+    ``per_shard_us`` breakdown.  On a single device all three collapse
+    to the one recovery cost.  Runs *after* the timed replay, so it
+    never pollutes the wall-clock measurement.
+    """
+    device = system.ssc
+    device.crash()
+    parallel_us = device.recover()
+    per_shard = list(getattr(device, "last_recovery_costs", ()) or (parallel_us,))
+    return {
+        "parallel_us": parallel_us,
+        "serial_us": sum(per_shard),
+        "per_shard_us": per_shard,
+    }
 
 
 def run_bench(
@@ -111,12 +134,17 @@ def run_bench(
     scale: float = 0.05,
     seed: int = 1,
     systems: Sequence[Tuple[SystemKind, CacheMode]] = SYSTEMS,
+    shards: int = 1,
     progress=None,
 ) -> Dict:
     """Run the benchmark matrix; returns the schema-versioned report.
 
-    ``progress`` is an optional callable invoked with one line per
-    completed scenario (the CLI passes ``print``).
+    ``shards`` builds every cache device as an array of that many
+    members at fixed total capacity; SSC scenarios then also record a
+    post-replay recovery measurement (``recovery`` entry key, new in
+    the sharding PR — absent from older reports, so comparisons treat
+    it as optional).  ``progress`` is an optional callable invoked with
+    one line per completed scenario (the CLI passes ``print``).
     """
     results: List[Dict] = []
     for workload in workloads:
@@ -131,6 +159,7 @@ def run_bench(
                         mode=mode,
                         cache_blocks=profile.cache_blocks(),
                         disk_blocks=profile.address_range_blocks,
+                        shards=shards,
                     )
                 )
                 begin = time.perf_counter()
@@ -145,6 +174,7 @@ def run_bench(
                     "system": kind.value,
                     "mode": mode.value,
                     "queue_depth": depth,
+                    "shards": shards,
                     "records": len(records),
                     "wallclock_s": wallclock_s,
                     "records_per_sec": (
@@ -152,13 +182,22 @@ def run_bench(
                     ),
                     "sim": stats.to_dict(),
                 }
+                if system.ssc is not None:
+                    entry["recovery"] = _measure_recovery(system)
                 results.append(entry)
                 if progress is not None:
-                    progress(
+                    line = (
                         f"  {workload:<6} {kind.value:<6} {mode.value} "
                         f"QD={depth:<3} {entry['records_per_sec']:>10,.0f} rec/s "
                         f"(sim {stats.iops():,.0f} IOPS)"
                     )
+                    if "recovery" in entry and shards > 1:
+                        recovery = entry["recovery"]
+                        line += (
+                            f" recovery {recovery['parallel_us']:,.0f} us "
+                            f"(serial {recovery['serial_us']:,.0f} us)"
+                        )
+                    progress(line)
     return {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -166,6 +205,7 @@ def run_bench(
             "queue_depths": list(queue_depths),
             "scale": scale,
             "seed": seed,
+            "shards": shards,
             "warmup_fraction": WARMUP_FRACTION,
             "systems": [
                 {"system": kind.value, "mode": mode.value} for kind, mode in systems

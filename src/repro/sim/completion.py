@@ -55,6 +55,39 @@ def is_plane_resource(resource: str) -> bool:
     return resource.startswith(_PLANE_PREFIX)
 
 
+# Interned per-shard plane keys, keyed by (shard_id, plane_id).  A
+# sharded cache array namespaces each member device's planes so the
+# replay engine schedules ops on different shards onto distinct
+# availability timelines — that is what lets shards overlap under
+# queue-depth concurrency.
+_SHARD_PLANE_KEYS: dict = {}
+
+
+def shard_plane_resource(shard_id: int, plane_id: int) -> str:
+    """Resource key of plane ``plane_id`` on array shard ``shard_id``
+    (``"s<k>:plane:<n>"``, interned)."""
+    key = _SHARD_PLANE_KEYS.get((shard_id, plane_id))
+    if key is None:
+        key = _SHARD_PLANE_KEYS.setdefault(
+            (shard_id, plane_id), f"s{shard_id}:{_PLANE_PREFIX}{plane_id}"
+        )
+    return key
+
+
+def parse_shard_resource(resource: str) -> Optional[Tuple[int, str]]:
+    """Split a shard-namespaced key into ``(shard_id, base_resource)``.
+
+    ``"s2:plane:0"`` -> ``(2, "plane:0")``; returns None for keys that
+    carry no shard namespace (``"plane:0"``, ``"disk"``).
+    """
+    if not resource.startswith("s"):
+        return None
+    head, sep, rest = resource.partition(":")
+    if not sep or not head[1:].isdigit():
+        return None
+    return int(head[1:]), rest
+
+
 class DeviceOp(NamedTuple):
     """One timed device operation attributed to one contended resource."""
 

@@ -91,10 +91,13 @@ class CheckpointStore:
     """Two alternating checkpoint slots on dedicated flash regions."""
 
     def __init__(self, timing: TimingModel, page_size: int = 4096,
-                 pages_per_block: int = 64):
+                 pages_per_block: int = 64, name: str = ""):
         self.timing = timing
         self.page_size = page_size
         self.pages_per_block = pages_per_block
+        # Diagnostic label ("shard3/checkpoint" in a sharded array);
+        # purely informational — it never affects behaviour.
+        self.name = name
         # Optional fault hook: ticks AFTER_CHECKPOINT at every write.
         self.injector: Optional[CrashInjector] = None
         self._slots: List[Optional[Checkpoint]] = [None, None]

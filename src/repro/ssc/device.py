@@ -113,8 +113,10 @@ class SolidStateCache:
         geometry: Optional[FlashGeometry] = None,
         timing: Optional[TimingModel] = None,
         config: Optional[SSCConfig] = None,
+        name: str = "",
     ):
         self.config = config or SSCConfig()
+        self.name = name
         self.chip = FlashChip(geometry, timing)
         geometry = self.chip.geometry
         if not self.config.consistency:
@@ -124,11 +126,13 @@ class SolidStateCache:
         else:
             log_cls = OperationLog
         self.oplog = log_cls(
-            self.chip.timing, geometry.page_size, geometry.pages_per_block
+            self.chip.timing, geometry.page_size, geometry.pages_per_block,
+            name=f"{name}/log" if name else "",
         )
         self.engine = CacheFTL(self.chip, self.oplog, self.config.engine_config())
         self.checkpoints = CheckpointStore(
-            self.chip.timing, geometry.page_size, geometry.pages_per_block
+            self.chip.timing, geometry.page_size, geometry.pages_per_block,
+            name=f"{name}/checkpoint" if name else "",
         )
         self._writes_since_checkpoint = 0
         self._crashed = False
@@ -136,6 +140,12 @@ class SolidStateCache:
         # damaged log records the last recovery discarded.
         self.injector: Optional[CrashInjector] = None
         self.last_recovery_discarded = 0
+
+    def set_name(self, name: str) -> None:
+        """Label this device and its durable stores (array shards)."""
+        self.name = name
+        self.oplog.name = f"{name}/log" if name else ""
+        self.checkpoints.name = f"{name}/checkpoint" if name else ""
 
     def attach_injector(self, injector: CrashInjector) -> None:
         """Wire a crash injector into every durability boundary.
@@ -483,25 +493,10 @@ class SolidStateCache:
 
         Requires ``consistency=True`` — a device that never persisted
         its mapping has nothing to recover and must be reset instead.
+        Delegates to :func:`repro.ssc.recovery.recover_device`, the
+        per-device entry point a sharded array invokes once per shard.
         """
-        if not self.oplog.enabled:
-            raise RecoveryError(
-                "no-consistency configuration: mapping was never persisted"
-            )
-        checkpoint = self.checkpoints.latest()
-        from_seq = checkpoint.seq if checkpoint is not None else 0
-        records, discarded = self.oplog.intact_records_after(from_seq)
-        self.last_recovery_discarded = discarded
-        state = recovery_mod.replay(
-            checkpoint, records, self.engine.pages_per_block
-        )
-        recovery_mod.materialize(self.engine, state)
-        self._crashed = False
-
-        cost = self.oplog.replay_read_cost(from_seq)
-        if checkpoint is not None:
-            cost += self.checkpoints.read_cost(checkpoint)
-        return cost
+        return recovery_mod.recover_device(self)
 
     def _check_alive(self) -> None:
         if self._crashed:
@@ -509,7 +504,8 @@ class SolidStateCache:
 
     def __repr__(self) -> str:
         policy = self.config.policy.name
+        label = f"{self.name!r}, " if self.name else ""
         return (
-            f"SolidStateCache(policy={policy}, "
+            f"SolidStateCache({label}policy={policy}, "
             f"cached={self.engine.cached_blocks()} blocks)"
         )

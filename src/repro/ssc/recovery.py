@@ -198,6 +198,32 @@ def materialize(engine: "CacheFTL", state: RecoveredState) -> None:
     engine.data_map.rebuild_reverse()
 
 
+def recover_device(ssc) -> float:
+    """Roll-forward recovery entry point for one device (or array shard).
+
+    Replays the device's latest intact checkpoint plus the verified log
+    tail into its engine, reconciles the flash chip, and returns the
+    simulated recovery time (checkpoint + log flash reads).  A sharded
+    array invokes this once per shard; the shards' recoveries are
+    independent, so an array can run them concurrently.
+    """
+    if not ssc.oplog.enabled:
+        raise RecoveryError(
+            "no-consistency configuration: mapping was never persisted"
+        )
+    checkpoint = ssc.checkpoints.latest()
+    from_seq = checkpoint.seq if checkpoint is not None else 0
+    records, discarded = ssc.oplog.intact_records_after(from_seq)
+    ssc.last_recovery_discarded = discarded
+    state = replay(checkpoint, records, ssc.engine.pages_per_block)
+    materialize(ssc.engine, state)
+    ssc._crashed = False
+    cost = ssc.oplog.replay_read_cost(from_seq)
+    if checkpoint is not None:
+        cost += ssc.checkpoints.read_cost(checkpoint)
+    return cost
+
+
 def _reconcile_block(engine, plane, block, expected_pages, expected_blocks,
                      log_blocks) -> None:
     chip = engine.chip

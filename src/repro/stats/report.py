@@ -21,13 +21,20 @@ def format_table(
     rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Render an aligned plain-text table."""
+    """Render an aligned plain-text table.
+
+    Rows wider than ``headers`` are legal: the extra columns get
+    headerless width slots (sized to their widest cell) instead of
+    crashing the formatter.
+    """
     materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):
             if index < len(widths):
                 widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
 
     def line(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()

@@ -14,6 +14,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.ftl.hybrid import HybridFTL, HybridFTLConfig
 from repro.ftl.pagemap import PageMapFTL
 from repro.ssc.device import SolidStateCache
+from repro.stats.report import format_table
 
 
 class TestSeqLogSupersededPages:
@@ -136,3 +137,32 @@ class TestPageMapFullyValidVictims:
             ftl.write(lpn, ("over", i))
         for lpn in range(16, ftl.logical_pages, 11):
             assert ftl.read(lpn)[0] == ("fill", lpn)
+
+
+class TestFormatTableRaggedRows:
+    """format_table indexed ``widths`` by cell position, so a row with
+    more cells than the header list raised IndexError — first hit by the
+    per-shard recovery table, whose rows carry an extra ratio column."""
+
+    def test_rows_wider_than_headers(self):
+        table = format_table(
+            ["shard", "us"],
+            [["shard0", 120.0, "78%"], ["shard1", 154.0, "100%"]],
+            title="Recovery",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Recovery"
+        # Every row renders, extra cells included and aligned.
+        assert "78%" in table and "100%" in table
+        assert lines[-1].startswith("shard1")
+
+    def test_extra_column_width_tracks_widest_cell(self):
+        table = format_table(["a"], [["x", "wide-cell"], ["y", "z"]])
+        rows = table.splitlines()[2:]
+        assert rows[0] == "x  wide-cell"
+        assert rows[1] == "y  z"
+
+    def test_header_only_and_ragged_mix(self):
+        # Mixed widths across rows: widths list grows monotonically.
+        table = format_table([], [["a"], ["b", "c", "d"], ["e", "f"]])
+        assert [len(line.split()) for line in table.splitlines()[2:]] == [1, 3, 2]
