@@ -145,12 +145,53 @@ def cmd_replay(args) -> int:
     records = _load_records(args)
     kind = SystemKind(args.system)
     system = build_system(_system_config(args, kind, records))
+
+    # Observability is opt-in: without these flags no tracer is
+    # attached and the replay runs the zero-cost default path.
+    # (--trace names the *input* trace file; the capture outputs are
+    # --trace-out / --events-out / --metrics.)
+    tracer = None
+    sinks = []
+    if args.trace_out or args.events_out:
+        from repro.obs import JsonlSink, RingBufferSink, Tracer, instrument_system
+
+        if args.trace_out:
+            sinks.append(RingBufferSink())
+        if args.events_out:
+            sinks.append(JsonlSink(args.events_out))
+        tracer = Tracer(*sinks)
+        instrument_system(system, tracer)
+
     stats = system.replay(
         records,
         warmup_fraction=args.warmup,
         queue_depth=args.queue_depth,
         open_loop=args.open_loop,
+        keep_latencies=bool(args.metrics),
     )
+
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        if args.trace_out:
+            entries = write_chrome_trace(tracer.ring.events, args.trace_out)
+            dropped = tracer.ring.dropped
+            note = f" ({dropped:,} oldest events dropped)" if dropped else ""
+            print(f"wrote {entries:,} Chrome trace entries to "
+                  f"{args.trace_out}{note}")
+        tracer.close()
+        if args.events_out:
+            print(f"wrote {tracer.events_emitted:,} events to {args.events_out}")
+    if args.metrics:
+        import json
+
+        from repro.obs import collect
+
+        snapshot = collect(system, stats)
+        with open(args.metrics, "w") as handle:
+            json.dump(snapshot.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote metrics snapshot to {args.metrics}")
     device = system.device_stats
     loop = "open loop" if args.open_loop else f"QD={stats.queue_depth}"
     if args.shards > 1:
@@ -298,6 +339,51 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace_report(args) -> int:
+    from repro.obs import format_report, load_events, summarize
+
+    try:
+        events = load_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    print(format_report(summarize(events), top=args.top))
+    return 0
+
+
+def cmd_obs_schema(args) -> int:
+    from repro.obs import metrics_markdown
+
+    rendered = metrics_markdown()
+    if args.check:
+        target = args.output or "docs/metrics.md"
+        try:
+            with open(target) as handle:
+                committed = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {target}: {exc}", file=sys.stderr)
+            return 1
+        if committed != rendered:
+            print(
+                f"{target} is stale: regenerate with\n"
+                f"  python -m repro obs schema --markdown -o {target}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target} matches the registry")
+        return 0
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def cmd_crashcheck(args) -> int:
     from repro.check.explorer import explore
 
@@ -366,7 +452,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch at recorded arrival_us timestamps instead",
     )
     _add_shard_args(replay)
+    replay.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="capture a Chrome trace (Perfetto / chrome://tracing) of "
+             "the replay to FILE",
+    )
+    replay.add_argument(
+        "--events-out", default=None, metavar="FILE",
+        help="stream trace events as JSON Lines to FILE "
+             "(input of 'repro trace report')",
+    )
+    replay.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metrics-registry snapshot (JSON) to FILE",
+    )
     replay.set_defaults(func=cmd_replay)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="work with captured trace-event files"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="summarize a JSONL event capture: GC cost, write "
+             "amplification, recovery phases",
+    )
+    trace_report.add_argument("events", help="JSONL file from --events-out")
+    trace_report.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the top-GC-cost table (default 10)",
+    )
+    trace_report.set_defaults(func=cmd_trace_report)
+
+    obs = subparsers.add_parser(
+        "obs", help="observability schema utilities"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    schema = obs_sub.add_parser(
+        "schema",
+        help="render the event/metric catalog (docs/metrics.md source)",
+    )
+    schema.add_argument(
+        "--markdown", action="store_true",
+        help="emit Markdown (the only format, kept explicit for clarity)",
+    )
+    schema.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    schema.add_argument(
+        "--check", action="store_true",
+        help="compare against FILE (default docs/metrics.md) and fail "
+             "on drift instead of writing",
+    )
+    schema.set_defaults(func=cmd_obs_schema)
 
     compare = subparsers.add_parser("compare", help="native vs SSC vs SSC-R")
     _add_trace_source_args(compare)

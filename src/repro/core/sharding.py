@@ -234,6 +234,9 @@ class ShardedSSC:
     the lost records because every shard's volatile buffer is lost.
     """
 
+    #: Optional trace bus (repro.obs); None keeps routing zero-cost.
+    tracer = None
+
     def __init__(
         self,
         shards: Sequence[SolidStateCache],
@@ -278,6 +281,15 @@ class ShardedSSC:
     def shard_of(self, lbn: int) -> SolidStateCache:
         """The member device owning ``lbn``."""
         return self.shards[self.router.shard_of(lbn)]
+
+    def _routed(self, lbn: int) -> SolidStateCache:
+        """Data-path routing: like :meth:`shard_of`, plus the trace
+        event (introspection helpers route silently)."""
+        shard_id = self.router.shard_of(lbn)
+        if self.tracer is not None:
+            self.tracer.emit("shard.route", lane="router",
+                             lbn=lbn, shard=shard_id)
+        return self.shards[shard_id]
 
     # ------------------------------------------------------------------
     # Introspection (sums over members)
@@ -328,32 +340,32 @@ class ShardedSSC:
             shard.crash()
 
     def read(self, lbn: int):
-        return self.shard_of(lbn).read(lbn)
+        return self._routed(lbn).read(lbn)
 
     def write_dirty(self, lbn: int, data: Any):
         try:
-            return self.shard_of(lbn).write_dirty(lbn, data)
+            return self._routed(lbn).write_dirty(lbn, data)
         except CrashError:
             self._power_fail_all()
             raise
 
     def write_clean(self, lbn: int, data: Any):
         try:
-            return self.shard_of(lbn).write_clean(lbn, data)
+            return self._routed(lbn).write_clean(lbn, data)
         except CrashError:
             self._power_fail_all()
             raise
 
     def evict(self, lbn: int):
         try:
-            return self.shard_of(lbn).evict(lbn)
+            return self._routed(lbn).evict(lbn)
         except CrashError:
             self._power_fail_all()
             raise
 
     def clean(self, lbn: int):
         try:
-            return self.shard_of(lbn).clean(lbn)
+            return self._routed(lbn).clean(lbn)
         except CrashError:
             self._power_fail_all()
             raise

@@ -38,7 +38,7 @@ from repro.sim.completion import Completion, is_plane_resource
 from repro.sim.events import EventScheduler
 from repro.stats.counters import LatencyStats, ReplayStats
 from repro.traces.record import TraceRecord
-from repro.traces.replay import _issue
+from repro.traces.replay import _issue, _trace_request
 
 
 class _FallbackResource:
@@ -126,13 +126,16 @@ class ReplayEngine:
         at_us: float,
         stats: ReplayStats,
         serial: bool,
+        tracer=None,
     ):
         """Place one request's operations on the resource timelines.
 
         Returns ``(queue_wait_us, finish_us)``.  ``queue_wait_us`` is
         the total time the request's operations spent waiting for busy
         resources; untraced service time (controller/log overhead) is
-        serial within the request and never waits.
+        serial within the request and never waits.  With a ``tracer``
+        attached, each operation's op.device slice is emitted at the
+        time it actually ran (its resource reservation).
         """
         busy = stats.device_busy_us
         if serial:
@@ -141,13 +144,20 @@ class ReplayEngine:
             # in serial replay — finish is computed from the total
             # service time alone, which is what makes queue_depth=1
             # reproduce replay_trace() bit-for-bit.
-            for resource_key, _kind, duration_us in completion.ops:
+            cursor = at_us
+            for resource_key, kind, duration_us in completion.ops:
                 busy[resource_key] = busy.get(resource_key, 0.0) + duration_us
+                if tracer is not None:
+                    tracer.emit(
+                        "op.device", lane=resource_key, ts_us=cursor,
+                        dur_us=duration_us, kind=kind,
+                    )
+                    cursor += duration_us
             return 0.0, at_us + float(completion)
         wait_us = 0.0
         cursor = at_us
         resources = self._resources
-        for resource_key, _kind, duration_us in completion.ops:
+        for resource_key, kind, duration_us in completion.ops:
             resource = resources.get(resource_key)
             if resource is None:
                 resource = self._resource(resource_key)
@@ -155,6 +165,11 @@ class ReplayEngine:
             wait_us += start - cursor
             cursor = finish
             busy[resource_key] = busy.get(resource_key, 0.0) + duration_us
+            if tracer is not None:
+                tracer.emit(
+                    "op.device", lane=resource_key, ts_us=start,
+                    dur_us=duration_us, kind=kind,
+                )
         return wait_us, at_us + wait_us + float(completion)
 
     # ------------------------------------------------------------------
@@ -188,6 +203,7 @@ class ReplayEngine:
         hits_before = self.manager.stats.read_hits
         misses_before = self.manager.stats.read_misses
         start_us = self.clock.now_us
+        tracer = self.manager.tracer  # None unless instrumented
         arrival_origin: Optional[float] = None
         dispatch_us = start_us
         end_us = start_us
@@ -202,7 +218,10 @@ class ReplayEngine:
                 start_us = self.clock.now_us
                 dispatch_us = start_us
             if index < warmup_ops:
-                _issue(self.manager, record)
+                completion = _issue(self.manager, record)
+                if tracer is not None:
+                    _trace_request(tracer, record, completion,
+                                   queue_wait_us=0.0)
                 continue
 
             dispatch_wait_us = 0.0
@@ -223,9 +242,13 @@ class ReplayEngine:
                 freed = scheduler.pop()
                 dispatch_us = max(dispatch_us, freed.time_us)
 
+            if tracer is not None:
+                tracer.advance_to(dispatch_us)
             completion = _issue(self.manager, record)
             wait_us, finish_us = self._execute(
-                completion, dispatch_us, stats, serial=not open_loop and self.queue_depth == 1
+                completion, dispatch_us, stats,
+                serial=not open_loop and self.queue_depth == 1,
+                tracer=tracer,
             )
             wait_us += dispatch_wait_us
             scheduler.schedule_at(max(finish_us, self.clock.now_us))
@@ -241,6 +264,14 @@ class ReplayEngine:
             stats.latency.record(latency_us)
             stats.service.record(float(completion))
             stats.queue_wait.record(wait_us)
+            if tracer is not None:
+                tracer.emit(
+                    "op.issue", lane="requests", ts_us=dispatch_us,
+                    dur_us=latency_us,
+                    kind="write" if record.is_write else "read",
+                    lbn=record.lbn, hit=completion.hit,
+                    queue_wait_us=wait_us,
+                )
 
         # Drain: run simulated time forward to the last completion.
         while scheduler:

@@ -84,6 +84,8 @@ class FlashChip:
         self._plane_keys = [
             plane_resource(plane_id) for plane_id in range(self.geometry.planes)
         ]
+        for plane, key in zip(self.planes, self._plane_keys):
+            plane.resource_key = key
         # Set when this chip is a member of a sharded array (see
         # set_resource_shard); None for a standalone device.
         self.resource_shard: Optional[int] = None
@@ -138,6 +140,8 @@ class FlashChip:
             shard_plane_resource(shard_id, plane_id)
             for plane_id in range(self.geometry.planes)
         ]
+        for plane, key in zip(self.planes, self._plane_keys):
+            plane.resource_key = key
 
     # ---- availability ------------------------------------------------------
 

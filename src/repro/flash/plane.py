@@ -27,8 +27,14 @@ class Plane:
     :meth:`reserve`).
     """
 
+    #: Optional trace bus (repro.obs); None keeps allocation zero-cost.
+    tracer = None
+
     def __init__(self, plane_id: int, blocks: List[EraseBlock]):
         self.plane_id = plane_id
+        #: Availability-timeline key ("plane:<n>" or "s<k>:plane:<n>"),
+        #: assigned by the owning chip; doubles as the trace lane.
+        self.resource_key = f"plane:{plane_id}"
         self.blocks: Dict[int, EraseBlock] = {block.pbn: block for block in blocks}
         # The free pool keeps three views: a membership set (the truth,
         # O(1) is_free / removal), a FIFO deque (allocation order when
@@ -82,6 +88,11 @@ class Plane:
                 free_set.discard(pbn)
                 block = self.blocks[pbn]
                 block.kind = kind
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "flash.alloc", lane=self.resource_key,
+                        pbn=pbn, kind=kind.name,
+                    )
                 return block
         raise IndexError(f"plane {self.plane_id} has no free blocks")
 
@@ -98,6 +109,11 @@ class Plane:
         self._free_set.discard(pbn)
         block = self.blocks[pbn]
         block.kind = kind
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flash.alloc", lane=self.resource_key,
+                pbn=pbn, kind=kind.name,
+            )
         return block
 
     def free_pbns(self):
@@ -144,6 +160,10 @@ class Plane:
         self._free.append(block.pbn)
         heapq.heappush(self._wear_heap, (block.erase_count, block.pbn))
         heapq.heappush(self._hot_heap, (-block.erase_count, -block.pbn))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flash.release", lane=self.resource_key, pbn=block.pbn
+            )
 
     def is_free(self, pbn: int) -> bool:
         """True if block ``pbn`` sits on this plane's free list."""

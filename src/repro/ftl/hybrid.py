@@ -63,6 +63,11 @@ class HybridFTLConfig:
 class HybridFTL:
     """Hybrid-mapped FTL over a :class:`~repro.flash.chip.FlashChip`."""
 
+    #: Optional trace bus (repro.obs).  A class attribute so the SSC's
+    #: CacheFTL subclass (which skips this __init__) inherits the
+    #: zero-cost default; set per instance by instrument_system.
+    tracer = None
+
     def __init__(self, chip: FlashChip, config: Optional[HybridFTLConfig] = None):
         self.chip = chip
         self.config = config or HybridFTLConfig()
@@ -358,6 +363,7 @@ class HybridFTL:
         old_pbn = self.data_map.lookup(group)
 
         cost = 0.0
+        copies_before = self.stats.gc_page_writes
         partial = not block.is_full
         if old_pbn is not None:
             old = self.chip.block(old_pbn)
@@ -399,6 +405,12 @@ class HybridFTL:
             self.stats.partial_merges += 1
         else:
             self.stats.switch_merges += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "gc.merge", lane="gc", dur_us=cost,
+                kind="partial" if partial else "switch", group=group,
+                copies=self.stats.gc_page_writes - copies_before,
+            )
         return cost
 
     def _log_write_slot(self) -> Tuple[EraseBlock, int, float]:
@@ -434,6 +446,11 @@ class HybridFTL:
         was_active = victim is self._active_log
         if was_active:
             self._active_log = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                "gc.victim", lane="gc",
+                pbn=victim_pbn, valid_pages=victim.valid_count,
+            )
 
         cost = 0.0
         try:
@@ -518,12 +535,18 @@ class HybridFTL:
                 old.invalidate(offset)
             cost += self._erase(old_pbn)
         self.stats.switch_merges += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "gc.merge", lane="gc", dur_us=cost,
+                kind="switch", group=group, copies=0,
+            )
         return cost
 
     def _full_merge_group(self, group: int) -> float:
         """Copy the newest version of every live page of ``group`` into a
         fresh data block, then erase the group's old data block."""
         cost = 0.0
+        copies_before = self.stats.gc_page_writes
         old_pbn = self.data_map.lookup(group)
         pages_per_block = self.pages_per_block
         base_lpn = group * pages_per_block
@@ -577,6 +600,12 @@ class HybridFTL:
             if old_pbn is not None:
                 self._gc_protected.discard(old_pbn)
         self.stats.full_merges += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "gc.merge", lane="gc", dur_us=cost,
+                kind="full", group=group,
+                copies=self.stats.gc_page_writes - copies_before,
+            )
         return cost
 
     # ------------------------------------------------------------------

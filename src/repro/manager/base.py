@@ -64,6 +64,10 @@ class CacheManager(ABC):
     lives).
     """
 
+    #: Optional trace bus (repro.obs), read by the replay loops for
+    #: op.issue/op.device emissions; None keeps replay zero-cost.
+    tracer = None
+
     def __init__(self):
         self.stats = ManagerStats()
         self._recorder = OpRecorder()

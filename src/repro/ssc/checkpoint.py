@@ -90,6 +90,9 @@ class Checkpoint:
 class CheckpointStore:
     """Two alternating checkpoint slots on dedicated flash regions."""
 
+    #: Optional trace bus (repro.obs); None keeps writes zero-cost.
+    tracer = None
+
     def __init__(self, timing: TimingModel, page_size: int = 4096,
                  pages_per_block: int = 64, name: str = ""):
         self.timing = timing
@@ -139,7 +142,14 @@ class CheckpointStore:
                     # latest() falls back to the other (intact) slot.
                     checkpoint.checksum ^= 0x1
                 raise
-        return pages * self.timing.write_cost() + blocks * self.timing.erase_cost()
+        cost = pages * self.timing.write_cost() + blocks * self.timing.erase_cost()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "checkpoint.commit", lane=self.name or "checkpoint",
+                dur_us=cost, seq=checkpoint.seq, pages=pages,
+                bytes=checkpoint.size_bytes(),
+            )
+        return cost
 
     def read_cost(self, checkpoint: Checkpoint) -> float:
         """Flash read cost of loading ``checkpoint`` at recovery."""

@@ -108,6 +108,9 @@ class SSCConfig:
 class SolidStateCache:
     """A flash cache device exposing the SSC interface."""
 
+    #: Optional trace bus (repro.obs); None keeps operations zero-cost.
+    tracer = None
+
     def __init__(
         self,
         geometry: Optional[FlashGeometry] = None,
@@ -403,6 +406,11 @@ class SolidStateCache:
         """Write a checkpoint of the forward maps and truncate the log."""
         if not self.oplog.enabled:
             return 0.0
+        if self.tracer is not None:
+            self.tracer.emit(
+                "checkpoint.begin", lane=self.checkpoints.name or "checkpoint",
+                seq=self.oplog.last_seq,
+            )
         try:
             cost = self.oplog.flush(sync=True)
             seq = self.oplog.last_flushed_seq

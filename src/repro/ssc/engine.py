@@ -424,6 +424,12 @@ class CacheFTL(HybridFTL):
         cost = self._erase(victim.pbn)
         self.stats.silent_evictions += 1
         self.stats.evicted_valid_pages += evicted
+        if self.tracer is not None:
+            self.tracer.emit(
+                "evict.silent", lane="gc", dur_us=cost,
+                pbn=victim.pbn, group=group if group is not None else -1,
+                valid_pages=evicted,
+            )
         return cost
 
     # ------------------------------------------------------------------

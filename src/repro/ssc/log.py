@@ -96,6 +96,9 @@ RECORD_BYTES = 30
 class OperationLog:
     """Buffered operation log with synchronous and group commit."""
 
+    #: Optional trace bus (repro.obs); None keeps the log zero-cost.
+    tracer = None
+
     def __init__(self, timing: TimingModel, page_size: int = 4096,
                  pages_per_block: int = 64, name: str = ""):
         self.timing = timing
@@ -140,6 +143,11 @@ class OperationLog:
         )
         self._next_seq += 1
         self.buffer.append(record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log.append", lane=self.name or "log",
+                kind=kind.name, seq=record.seq, lbn=lbn,
+            )
         return record
 
     def pending(self) -> int:
@@ -174,7 +182,13 @@ class OperationLog:
                 if self.injector.torn:
                     self._tear_flush_tail(count)
                 raise
-        return pages * self.timing.write_cost()
+        cost = pages * self.timing.write_cost()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log.flush", lane=self.name or "log", dur_us=cost,
+                sync=sync, records=count, pages=pages,
+            )
+        return cost
 
     def _tear_flush_tail(self, count: int) -> None:
         """Power failed mid-flush: only a prefix of the ``count`` records
@@ -265,6 +279,11 @@ class NvramOperationLog(OperationLog):
         self.flushed.append(record)
         self.flushed_bytes += RECORD_BYTES
         self.records_written += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log.append", lane=self.name or "log",
+                kind=kind.name, seq=record.seq, lbn=lbn,
+            )
         return record
 
     def flush(self, sync: bool) -> float:

@@ -215,13 +215,35 @@ def recover_device(ssc) -> float:
     from_seq = checkpoint.seq if checkpoint is not None else 0
     records, discarded = ssc.oplog.intact_records_after(from_seq)
     ssc.last_recovery_discarded = discarded
+    checkpoint_cost = (
+        ssc.checkpoints.read_cost(checkpoint) if checkpoint is not None else 0.0
+    )
+    log_cost = ssc.oplog.replay_read_cost(from_seq)
     state = replay(checkpoint, records, ssc.engine.pages_per_block)
     materialize(ssc.engine, state)
     ssc._crashed = False
-    cost = ssc.oplog.replay_read_cost(from_seq)
-    if checkpoint is not None:
-        cost += ssc.checkpoints.read_cost(checkpoint)
-    return cost
+    tracer = ssc.tracer
+    if tracer is not None:
+        lane = f"{ssc.name}/recovery" if ssc.name else "recovery"
+        start = tracer.now_us
+        entries = 0
+        if checkpoint is not None:
+            entries = len(checkpoint.page_entries) + len(checkpoint.block_entries)
+        tracer.emit(
+            "recovery.phase", lane=lane, ts_us=start, dur_us=checkpoint_cost,
+            phase="load_checkpoint", count=entries,
+        )
+        tracer.emit(
+            "recovery.phase", lane=lane, ts_us=start + checkpoint_cost,
+            dur_us=log_cost, phase="replay_log", count=state.replayed_records,
+        )
+        tracer.emit(
+            "recovery.phase", lane=lane,
+            ts_us=start + checkpoint_cost + log_cost, dur_us=0.0,
+            phase="materialize",
+            count=len(state.page_entries) + len(state.block_entries),
+        )
+    return checkpoint_cost + log_cost
 
 
 def _reconcile_block(engine, plane, block, expected_pages, expected_blocks,

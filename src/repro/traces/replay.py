@@ -45,6 +45,7 @@ def replay_trace(
     hits_before = manager.stats.read_hits
     misses_before = manager.stats.read_misses
     start_us = clock.now_us
+    tracer = manager.tracer  # None unless instrument_system attached one
 
     for index, record in enumerate(trace):
         if index == warmup_ops:
@@ -53,7 +54,11 @@ def replay_trace(
             hits_before = manager.stats.read_hits
             misses_before = manager.stats.read_misses
             start_us = clock.now_us
+        if tracer is not None:
+            tracer.advance_to(clock.now_us)
         completion = _issue(manager, record)
+        if tracer is not None:
+            _trace_request(tracer, record, completion, queue_wait_us=0.0)
         if index < warmup_ops:
             continue
         latency_us = float(completion)
@@ -80,3 +85,29 @@ def _issue(manager: CacheManager, record: TraceRecord) -> Completion:
         return manager.write(record.lbn, ("w", record.lbn))
     _data, completion = manager.read(record.lbn)
     return completion
+
+
+def _trace_request(
+    tracer,
+    record: TraceRecord,
+    completion: Completion,
+    queue_wait_us: float,
+    start_us: Optional[float] = None,
+) -> None:
+    """Emit one request's op.issue slice plus its per-device op.device
+    slices, laid back-to-back from the issue time (the serial loop's
+    timing; the event engine passes real reservation times instead)."""
+    issue_ts = tracer.now_us if start_us is None else start_us
+    tracer.emit(
+        "op.issue", lane="requests", ts_us=issue_ts,
+        dur_us=float(completion),
+        kind="write" if record.is_write else "read",
+        lbn=record.lbn, hit=completion.hit, queue_wait_us=queue_wait_us,
+    )
+    cursor = issue_ts
+    for op in completion.ops:
+        tracer.emit(
+            "op.device", lane=op.resource, ts_us=cursor,
+            dur_us=op.duration_us, kind=op.kind,
+        )
+        cursor += op.duration_us

@@ -112,3 +112,66 @@ class TestErrors:
         path = tmp_path / "empty.trace"
         path.write_text("# nothing\n")
         assert main(["analyze", "--trace", str(path)]) == 1
+
+
+class TestObservabilityCli:
+    def test_replay_writes_all_three_outputs(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        events_out = tmp_path / "events.jsonl"
+        metrics_out = tmp_path / "metrics.json"
+        assert main([
+            "replay", "--workload", "homes", "--scale", "0.02",
+            "--system", "ssc", "--mode", "wb",
+            "--trace-out", str(trace_out),
+            "--events-out", str(events_out),
+            "--metrics", str(metrics_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chrome trace entries" in out
+
+        import json
+        doc = json.loads(trace_out.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i", "M"}
+
+        lines = events_out.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["counters"]["replay.ops"] > 0
+        assert metrics["histograms"]["replay.latency_us"]["count"] > 0
+
+    def test_trace_report_summarizes_capture(self, tmp_path, capsys):
+        events_out = tmp_path / "events.jsonl"
+        main([
+            "replay", "--workload", "homes", "--scale", "0.02",
+            "--system", "ssc", "--mode", "wb",
+            "--events-out", str(events_out),
+        ])
+        capsys.readouterr()
+        assert main(["trace", "report", str(events_out), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Captured events" in out
+        assert "Write-amplification breakdown" in out
+        assert "user writes" in out
+
+    def test_trace_report_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_report_empty_capture(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "report", str(path)]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_untraced_replay_unchanged(self, capsys):
+        # The observability flags default off; a plain replay must not
+        # mention any trace outputs.
+        assert main([
+            "replay", "--workload", "homes", "--scale", "0.02",
+            "--system", "ssc", "--mode", "wb",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chrome trace" not in out
+        assert "events" not in out
